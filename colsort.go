@@ -1,0 +1,311 @@
+// Package colsort is an out-of-core, distributed-memory sorting library
+// reproducing "Relaxing the Problem-Size Bound for Out-of-Core Columnsort"
+// (Chaudhry, Hamon, Cormen; Dartmouth TR2003-445 / SPAA 2003).
+//
+// It sorts N fixed-size records arranged as an r×s matrix striped over the
+// disks of a simulated P-processor cluster, using Leighton's columnsort and
+// the paper's two problem-size-bound relaxations:
+//
+//   - Threaded columnsort (3 passes): N ≤ (M/P)^{3/2}/√2 — restriction (1)
+//   - Subblock columnsort (4 passes): N ≤ (M/P)^{5/3}/4^{2/3} — restriction (2)
+//   - M-columnsort (3 passes): N ≤ M^{3/2}/√2 — restriction (3)
+//   - Combined (4 passes, the paper's future work): N ≤ M^{5/3}/4^{2/3}
+//
+// A minimal use looks like:
+//
+//	cfg := colsort.Config{Procs: 4, Disks: 8, MemPerProc: 1 << 16, RecordSize: 64}
+//	sorter, err := colsort.New(cfg)
+//	...
+//	res, err := sorter.SortGenerated(colsort.Subblock, 1<<22, record.Uniform{Seed: 1})
+//	...
+//	err = res.Verify()
+//
+// The cluster (goroutine processors, message passing), the parallel disk
+// model (memory- or file-backed disks with exact operation accounting) and
+// the calibrated Beowulf-2003 cost model are all part of the library; see
+// DESIGN.md for the architecture and EXPERIMENTS.md for the reproduced
+// evaluation.
+package colsort
+
+import (
+	"errors"
+	"fmt"
+
+	"colsort/internal/bounds"
+	"colsort/internal/core"
+	"colsort/internal/pdm"
+	"colsort/internal/record"
+	"colsort/internal/sim"
+	"colsort/internal/verify"
+)
+
+// Algorithm selects the out-of-core sorting program.
+type Algorithm = core.Algorithm
+
+// The available algorithms. See the package comment for their bounds.
+const (
+	Threaded4   = core.Threaded4
+	Threaded    = core.Threaded
+	Subblock    = core.Subblock
+	MColumn     = core.MColumn
+	Combined    = core.Combined
+	BaselineIO3 = core.BaselineIO3
+	BaselineIO4 = core.BaselineIO4
+	// Hybrid is group columnsort with 2 ≤ g ≤ P/2 (Section-6 future
+	// work); use PlanHybrid / SortGeneratedHybrid, which take g.
+	Hybrid = core.Hybrid
+)
+
+// Config describes the simulated cluster and the memory budget.
+type Config struct {
+	// Procs is P, the number of processors (a power of 2).
+	Procs int
+	// Disks is D ≥ Procs with Procs | Disks; processor p owns disks
+	// {p, p+P, ...}. Zero means D = P.
+	Disks int
+	// MemPerProc is the per-processor column buffer in records — the
+	// paper's buffer-size knob. Threaded and subblock columnsort use
+	// column height r = MemPerProc; M-columnsort uses r = MemPerProc·P.
+	MemPerProc int
+	// RecordSize in bytes (≥ 8, multiple of 8; the paper uses 64–128).
+	RecordSize int
+	// Dir, when non-empty, backs the simulated disks with files under
+	// this directory (genuinely out-of-core); otherwise disks live in
+	// memory.
+	Dir string
+	// StripeBytes is the striping unit across a processor's disks
+	// (default 64 KiB).
+	StripeBytes int
+}
+
+// Sorter is a configured out-of-core sorting engine.
+type Sorter struct {
+	cfg Config
+	m   pdm.Machine
+}
+
+// New validates the configuration and builds a Sorter.
+func New(cfg Config) (*Sorter, error) {
+	if cfg.Disks == 0 {
+		cfg.Disks = cfg.Procs
+	}
+	if err := record.CheckSize(cfg.RecordSize); err != nil {
+		return nil, err
+	}
+	m := pdm.Machine{P: cfg.Procs, D: cfg.Disks, StripeBytes: cfg.StripeBytes}
+	if cfg.Dir != "" {
+		m.Backend = pdm.FileBackend{Dir: cfg.Dir}
+	}
+	if _, err := m.NewArrays(); err != nil {
+		return nil, err
+	}
+	return &Sorter{cfg: cfg, m: m}, nil
+}
+
+// Plan validates that the algorithm can sort n records under the
+// configuration and returns the resulting execution plan (matrix shape,
+// layout, pass structure). The error explains any violated restriction.
+func (s *Sorter) Plan(alg Algorithm, n int64) (core.Plan, error) {
+	return core.NewPlan(alg, n, s.cfg.Procs, s.cfg.Disks, s.cfg.MemPerProc, s.cfg.RecordSize)
+}
+
+// PlanHybrid validates hybrid group columnsort with group size g: column
+// height r = g·MemPerProc, interpolating between Threaded (g = 1) and
+// MColumn (g = P).
+func (s *Sorter) PlanHybrid(g int, n int64) (core.Plan, error) {
+	return core.NewHybridPlan(n, s.cfg.Procs, s.cfg.Disks, s.cfg.MemPerProc, s.cfg.RecordSize, g)
+}
+
+// SortGeneratedHybrid runs hybrid group columnsort with group size g.
+func (s *Sorter) SortGeneratedHybrid(g int, n int64, gen record.Generator) (*Result, error) {
+	pl, err := s.PlanHybrid(g, n)
+	if err != nil {
+		return nil, err
+	}
+	input, err := pl.NewInput(s.m, gen)
+	if err != nil {
+		return nil, err
+	}
+	defer input.Close()
+	res, err := core.Run(pl, s.m, input)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Result: res, want: record.OfGenerated(gen, n, s.cfg.RecordSize)}, nil
+}
+
+// MaxRecords returns the largest power-of-two record count the algorithm
+// can sort under this configuration (the practical counterpart of the
+// paper's real-valued bounds; see the bounds package for those).
+func (s *Sorter) MaxRecords(alg Algorithm) int64 {
+	var best int64
+	for n := int64(s.cfg.MemPerProc); n > 0 && n <= int64(1)<<52; n *= 2 {
+		if _, err := s.Plan(alg, n); err == nil && n > best {
+			best = n
+		}
+	}
+	return best
+}
+
+// Result is a completed sort: the sorted output store plus exact operation
+// counts and the means to verify and cost it.
+type Result struct {
+	*core.Result
+	want record.Checksum
+	// realN is the number of caller records when the sort was padded to a
+	// power of two (SortGeneratedAny); 0 means unpadded.
+	realN int64
+}
+
+// Verify checks that the output is globally sorted (in the PDM column-major
+// order of footnote 6) and that the record multiset was preserved. For
+// padded sorts it verifies the real prefix and that only pads follow.
+func (r *Result) Verify() error {
+	if r.realN > 0 && r.realN < r.Plan.N {
+		return verify.OutputPrefix(r.Output, r.realN, r.want)
+	}
+	return verify.Output(r.Output, r.want)
+}
+
+// RealRecords returns the number of caller records in the output (excluding
+// padding): the sorted data is the first RealRecords records in column-major
+// order.
+func (r *Result) RealRecords() int64 {
+	if r.realN > 0 {
+		return r.realN
+	}
+	return r.Plan.N
+}
+
+// EstimateBeowulf prices the run on the paper's testbed via the calibrated
+// cost model.
+func (r *Result) EstimateBeowulf() sim.RunEstimate {
+	return r.Estimate(sim.Beowulf2003())
+}
+
+// Close releases the output store.
+func (r *Result) Close() error { return r.Output.Close() }
+
+// SortGenerated generates n records from g (records are generated directly
+// onto the simulated disks; only one column portion is ever in memory),
+// sorts them with the chosen algorithm, and returns the verified-able
+// result. The caller owns Close on the result.
+func (s *Sorter) SortGenerated(alg Algorithm, n int64, g record.Generator) (*Result, error) {
+	pl, err := s.Plan(alg, n)
+	if err != nil {
+		return nil, err
+	}
+	input, err := pl.NewInput(s.m, g)
+	if err != nil {
+		return nil, err
+	}
+	defer input.Close()
+	res, err := core.Run(pl, s.m, input)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Result: res, want: record.OfGenerated(g, n, s.cfg.RecordSize)}, nil
+}
+
+// padded wraps a generator so indices beyond n yield all-0xFF pad records,
+// which carry the maximum key and payload and therefore sort to the end.
+type padded struct {
+	inner record.Generator
+	n     int64
+}
+
+func (p padded) Name() string { return p.inner.Name() + "+pad" }
+
+func (p padded) Gen(rec []byte, idx int64) {
+	if idx < p.n {
+		p.inner.Gen(rec, idx)
+		return
+	}
+	for i := range rec {
+		rec[i] = 0xff
+	}
+}
+
+// SortGeneratedAny sorts ANY record count n ≥ 1, removing the paper's
+// power-of-two requirement on N (a Section-6 future-work item): the input
+// is padded with maximal records up to the smallest power of two the
+// planner accepts, sorted normally, and the result verifies and reports
+// only the real prefix. The relative padding overhead is below 2× and
+// shrinks to the next-power-of-two gap.
+func (s *Sorter) SortGeneratedAny(alg Algorithm, n int64, g record.Generator) (*Result, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("colsort: cannot sort %d records", n)
+	}
+	n2 := int64(1)
+	for n2 < n {
+		n2 *= 2
+	}
+	// The smallest covering power of two may still violate a divisibility
+	// condition (or be smaller than one column); grow until the planner
+	// accepts, or the problem-size restriction says growing cannot help.
+	var lastErr error
+	for try := n2; try > 0 && try <= 1<<52; try *= 2 {
+		if _, err := s.Plan(alg, try); err != nil {
+			lastErr = err
+			if errors.Is(err, core.ErrTooLarge) {
+				break
+			}
+			continue
+		}
+		res, err := s.SortGenerated(alg, try, padded{inner: g, n: n})
+		if err != nil {
+			return nil, err
+		}
+		res.want = record.OfGenerated(g, n, s.cfg.RecordSize)
+		res.realN = n
+		return res, nil
+	}
+	return nil, fmt.Errorf("colsort: no power-of-two padding of %d is sortable: %w", n, lastErr)
+}
+
+// SortStore sorts an existing input store (created via InputStore). The
+// input is preserved; the caller owns both stores.
+func (s *Sorter) SortStore(alg Algorithm, input *pdm.Store) (*Result, error) {
+	n := int64(input.R) * int64(input.S)
+	pl, err := s.Plan(alg, n)
+	if err != nil {
+		return nil, err
+	}
+	want, err := input.Checksum()
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Run(pl, s.m, input)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Result: res, want: want}, nil
+}
+
+// InputStore allocates an input store shaped for the algorithm and n, to be
+// filled by the caller (e.g. via its Fill method).
+func (s *Sorter) InputStore(alg Algorithm, n int64) (*pdm.Store, error) {
+	pl, err := s.Plan(alg, n)
+	if err != nil {
+		return nil, err
+	}
+	return s.m.NewStore(pl.R, pl.S, pl.Z, pl.Layout)
+}
+
+// Bound returns the paper's real-valued problem-size bound, in records, for
+// the algorithm under this configuration, treating MemPerProc as M/P.
+func (s *Sorter) Bound(alg Algorithm) (float64, error) {
+	m := int64(s.cfg.MemPerProc) * int64(s.cfg.Procs)
+	p := int64(s.cfg.Procs)
+	switch alg {
+	case Threaded, Threaded4:
+		return bounds.MaxN(bounds.Threaded, m, p), nil
+	case Subblock:
+		return bounds.MaxN(bounds.Subblock, m, p), nil
+	case MColumn:
+		return bounds.MaxN(bounds.MColumnsort, m, p), nil
+	case Combined:
+		return bounds.MaxN(bounds.Combined, m, p), nil
+	}
+	return 0, fmt.Errorf("colsort: no problem-size bound for %v", alg)
+}

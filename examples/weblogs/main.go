@@ -1,0 +1,82 @@
+// Weblogs: the web-search-engine scenario from the paper's introduction.
+//
+// A search engine accumulates query-log records whose keys are heavily
+// skewed (a few hot queries dominate — Zipf-like). The logs exceed main
+// memory and must be sorted on disk before index building. This example
+// sorts the same skewed data set with each algorithm the configuration
+// admits, shows that skew does not affect the oblivious algorithms'
+// behaviour (identical operation counts as uniform data), and lets the
+// problem-size planner pick the algorithm when the log outgrows the
+// threaded bound.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"colsort"
+	"colsort/internal/record"
+)
+
+func main() {
+	sorter, err := colsort.New(colsort.Config{
+		Procs:      8,
+		Disks:      8,
+		MemPerProc: 1 << 14, // deliberately small memory: 1 MiB columns
+		RecordSize: 64,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Today's log: 2^19 records (32 MiB).
+	const today = 1 << 19
+	zipf := record.Zipf{Seed: 2003}
+
+	fmt.Println("== sorting today's query log (32 MiB, Zipf-distributed keys) ==")
+	for _, alg := range []colsort.Algorithm{colsort.Threaded, colsort.MColumn} {
+		if _, err := sorter.Plan(alg, today); err != nil {
+			fmt.Printf("%-14v skipped: %v\n", alg, err)
+			continue
+		}
+		res, err := sorter.SortGenerated(alg, today, zipf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.Verify(); err != nil {
+			log.Fatalf("%v: %v", alg, err)
+		}
+		skew := res.TotalCounters()
+
+		// Obliviousness check (Section 2: "our algorithm's I/O and
+		// communication patterns are oblivious to the keys"): the same
+		// sort on uniform data must produce identical traffic.
+		uni, err := sorter.SortGenerated(alg, today, record.Uniform{Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		flat := uni.TotalCounters()
+		same := skew.NetBytes == flat.NetBytes && skew.NetMsgs == flat.NetMsgs &&
+			skew.DiskReadBytes == flat.DiskReadBytes
+		fmt.Printf("%-14v verified; est %.1fs on 2003 hardware; pattern oblivious to skew: %v\n",
+			alg, res.EstimateBeowulf().Total, same)
+		res.Close()
+		uni.Close()
+	}
+
+	// The quarterly archive outgrows the threaded bound; the planner says
+	// why, and which relaxation still fits.
+	fmt.Println("\n== planning the quarterly archive ==")
+	for _, n := range []int64{1 << 20, 1 << 22, 1 << 24} {
+		fmt.Printf("archive of %d MiB:\n", n*64>>20)
+		for _, alg := range []colsort.Algorithm{colsort.Threaded, colsort.Subblock, colsort.MColumn} {
+			if _, err := sorter.Plan(alg, n); err != nil {
+				fmt.Printf("  %-14v NO  (%v)\n", alg, err)
+			} else {
+				fmt.Printf("  %-14v OK\n", alg)
+			}
+		}
+	}
+	fmt.Println("\nThis is the paper's point: subblock columnsort and M-columnsort relax")
+	fmt.Println("the problem-size bound so the same small-memory cluster keeps sorting.")
+}

@@ -1,0 +1,203 @@
+// Package bitperm implements the subblock permutation of Chaudhry, Hamon &
+// Cormen (Figure 1 of the paper) both as the arithmetic map
+//
+//	i' = ⌊j/√s⌋·(r/√s) + ⌊i/√s⌋
+//	j' = (j mod √s) + (i mod √s)·√s
+//
+// and as a permutation of the bits of the (row, column) address, together
+// with the analytic communication predictions of Section 3 (properties 1–3):
+// each processor sends ⌈P/√s⌉ messages per round, and none of them cross the
+// network when √s ≥ P.
+//
+// The package also provides the small power-of-two arithmetic helpers that
+// the rest of the system shares, since the paper assumes all configuration
+// parameters are powers of 2 (and s a power of 4 for subblock columnsort).
+package bitperm
+
+import "fmt"
+
+// IsPow2 reports whether x is a positive power of two.
+func IsPow2(x int) bool { return x > 0 && x&(x-1) == 0 }
+
+// IsPow4 reports whether x is a positive power of four.
+func IsPow4(x int) bool { return IsPow2(x) && Log2(x)%2 == 0 }
+
+// Log2 returns log₂(x) for a positive power of two, panicking otherwise;
+// callers validate configuration before arithmetic, so a violation here is
+// a programmer error.
+func Log2(x int) int {
+	if !IsPow2(x) {
+		panic(fmt.Sprintf("bitperm: %d is not a positive power of two", x))
+	}
+	n := 0
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// Sqrt returns √x for x a power of four.
+func Sqrt(x int) int {
+	if !IsPow4(x) {
+		panic(fmt.Sprintf("bitperm: %d is not a power of four", x))
+	}
+	return 1 << (Log2(x) / 2)
+}
+
+// CeilDiv returns ⌈a/b⌉ for positive b.
+func CeilDiv(a, b int) int { return (a + b - 1) / b }
+
+// Subblock is the subblock permutation for a fixed r×s matrix shape.
+type Subblock struct {
+	R, S int
+	q    int // √s
+}
+
+// NewSubblock validates the shape (r, s powers of two; s a power of four;
+// √s ≤ r so row subblock indexing is meaningful) and returns the permutation.
+func NewSubblock(r, s int) (Subblock, error) {
+	if !IsPow2(r) {
+		return Subblock{}, fmt.Errorf("bitperm: r=%d must be a power of 2", r)
+	}
+	if !IsPow4(s) {
+		return Subblock{}, fmt.Errorf("bitperm: s=%d must be a power of 4", s)
+	}
+	q := Sqrt(s)
+	if q > r {
+		return Subblock{}, fmt.Errorf("bitperm: √s=%d exceeds r=%d", q, r)
+	}
+	return Subblock{R: r, S: s, q: q}, nil
+}
+
+// MustSubblock is NewSubblock for statically known-good shapes.
+func MustSubblock(r, s int) Subblock {
+	sb, err := NewSubblock(r, s)
+	if err != nil {
+		panic(err)
+	}
+	return sb
+}
+
+// SqrtS returns √s.
+func (sb Subblock) SqrtS() int { return sb.q }
+
+// Map applies the permutation to matrix position (row i, column j).
+func (sb Subblock) Map(i, j int) (ti, tj int) {
+	q := sb.q
+	ti = (j/q)*(sb.R/q) + i/q
+	tj = (j % q) + (i%q)*q
+	return ti, tj
+}
+
+// Inverse applies the inverse permutation: given a target position, return
+// the source position that maps there.
+func (sb Subblock) Inverse(ti, tj int) (i, j int) {
+	q := sb.q
+	// From Map: ti = (j/q)·(R/q) + i/q and tj = (j mod q) + (i mod q)·q.
+	// R/q > ... recover the quotients and remainders.
+	jq := ti / (sb.R / q) // j/q
+	iq := ti % (sb.R / q) // i/q
+	jr := tj % q          // j mod q
+	ir := tj / q          // i mod q
+	return iq*q + ir, jq*q + jr
+}
+
+// TargetColumn returns only the destination column of (i, j); the
+// communicate stage routes records by destination column ownership.
+func (sb Subblock) TargetColumn(i, j int) int {
+	return (j % sb.q) + (i%sb.q)*sb.q
+}
+
+// TargetColumns returns the set (as a sorted slice) of destination columns
+// that records of source column j reach: exactly √s of them.
+func (sb Subblock) TargetColumns(j int) []int {
+	q := sb.q
+	cols := make([]int, q)
+	for im := 0; im < q; im++ {
+		cols[im] = (j % q) + im*q
+	}
+	return cols
+}
+
+// TargetProcs returns the set of processors (owners of destination columns,
+// owner = column mod P) that source column j sends to, for P a power of two.
+func (sb Subblock) TargetProcs(j, p int) map[int]bool {
+	procs := make(map[int]bool)
+	for _, c := range sb.TargetColumns(j) {
+		procs[c%p] = true
+	}
+	return procs
+}
+
+// MessagesPerRound is property 1 of Section 3: in the communicate stage of
+// each subblock-pass round, each processor sends ⌈P/√s⌉ messages.
+func MessagesPerRound(p, s int) int {
+	if !IsPow2(p) || !IsPow4(s) {
+		panic(fmt.Sprintf("bitperm: MessagesPerRound(%d, %d) needs power-of-2 P, power-of-4 s", p, s))
+	}
+	return CeilDiv(p, Sqrt(s))
+}
+
+// NoNetworkComm is property 2: when √s ≥ P the single message per round is
+// always destined for the sending processor, so nothing crosses the network.
+func NoNetworkComm(p, s int) bool { return Sqrt(s) >= p }
+
+// BitPerm is a permutation of the bits of a combined column-major address
+// a = j·r + i (low lg r bits hold the row, high lg s bits the column).
+// to[t] gives the source bit position feeding target bit t.
+type BitPerm struct {
+	to []int
+}
+
+// Apply permutes the bits of a.
+func (bp BitPerm) Apply(a int) int {
+	out := 0
+	for t, srcBit := range bp.to {
+		out |= ((a >> srcBit) & 1) << t
+	}
+	return out
+}
+
+// Bits returns the width of the permutation.
+func (bp BitPerm) Bits() int { return len(bp.to) }
+
+// IsBijection verifies that the bit-position assignment is a permutation.
+func (bp BitPerm) IsBijection() bool {
+	seen := make([]bool, len(bp.to))
+	for _, s := range bp.to {
+		if s < 0 || s >= len(bp.to) || seen[s] {
+			return false
+		}
+		seen[s] = true
+	}
+	return true
+}
+
+// BitForm expresses the subblock permutation as a BitPerm over the combined
+// address, exactly following Figure 1 of the paper:
+//
+//	source row bits:  x = i[0 .. lg√s−1],  w = i[lg√s .. lg r−1]
+//	source col bits:  z = j[0 .. lg√s−1],  y = j[lg√s .. lg s−1]
+//	target row bits:  i' = [ w at 0..lg(r/√s)−1 | y at lg(r/√s)..lg r−1 ]
+//	target col bits:  j' = [ z at 0..lg√s−1     | x at lg√s..lg s−1     ]
+func (sb Subblock) BitForm() BitPerm {
+	lgR, lgS := Log2(sb.R), Log2(sb.S)
+	lgQ := lgS / 2
+	to := make([]int, lgR+lgS)
+	// Target row bits occupy combined positions 0..lgR−1.
+	for b := 0; b < lgR-lgQ; b++ { // w: source row bits lgQ..lgR−1
+		to[b] = lgQ + b
+	}
+	for b := 0; b < lgQ; b++ { // y: source col bits lgQ..lgS−1 (combined lgR+lgQ+b)
+		to[lgR-lgQ+b] = lgR + lgQ + b
+	}
+	// Target column bits occupy combined positions lgR..lgR+lgS−1.
+	for b := 0; b < lgQ; b++ { // z: source col bits 0..lgQ−1 (combined lgR+b)
+		to[lgR+b] = lgR + b
+	}
+	for b := 0; b < lgQ; b++ { // x: source row bits 0..lgQ−1
+		to[lgR+lgQ+b] = b
+	}
+	return BitPerm{to: to}
+}

@@ -1,0 +1,201 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxNFormulas(t *testing.T) {
+	// M/P = 2^20, P = 16 ⇒ M = 2^24.
+	var mp, p int64 = 1 << 20, 16
+	m := mp * p
+	if got, want := MaxN(Threaded, m, p), math.Pow(float64(mp), 1.5)/math.Sqrt2; math.Abs(got/want-1) > 1e-12 {
+		t.Fatalf("threaded bound %g, want %g", got, want)
+	}
+	if got, want := MaxN(Subblock, m, p), math.Pow(float64(mp), 5.0/3)/math.Pow(4, 2.0/3); math.Abs(got/want-1) > 1e-12 {
+		t.Fatalf("subblock bound %g, want %g", got, want)
+	}
+	if got, want := MaxN(MColumnsort, m, p), math.Pow(float64(m), 1.5)/math.Sqrt2; math.Abs(got/want-1) > 1e-12 {
+		t.Fatalf("m-columnsort bound %g, want %g", got, want)
+	}
+	if MaxN(Combined, m, p) <= MaxN(MColumnsort, m, p) {
+		t.Fatal("combined bound should exceed m-columnsort for this config")
+	}
+}
+
+// TestTerabyteClaim is experiment E4: "On a cluster with 16 processors,
+// with M/P = 2^19 records, this change will allow us to sort up to one
+// terabyte of data, assuming a record size of 64 bytes."
+func TestTerabyteClaim(t *testing.T) {
+	var p int64 = 16
+	var mp int64 = 1 << 19
+	m := mp * p // 2^23 records
+	bytes := MaxBytes(MColumnsort, m, p, 64)
+	// M^{3/2}/√2 = 2^{34.5}/2^{0.5} = 2^34 records; ×64 B = 2^40 B = 1 TiB.
+	want := math.Pow(2, 40)
+	if math.Abs(bytes/want-1) > 1e-9 {
+		t.Fatalf("terabyte claim: got %s, want exactly 1 TiB", HumanBytes(bytes))
+	}
+	// And the in-core side condition holds: M/P = 2^19 ≥ 2·16² = 2^9.
+	if !InCoreOK(mp, p) {
+		t.Fatal("in-core condition should hold for the paper's config")
+	}
+}
+
+// TestSubblockDoublesProblemSize is experiment E3: "For most current
+// systems (M/P ≥ 2^12 records), this change will enable us to more than
+// double the largest problem size."
+func TestSubblockDoublesProblemSize(t *testing.T) {
+	if g := SubblockGain(1 << 12); g <= 2 {
+		t.Fatalf("gain at M/P=2^12 is %.3f, want > 2", g)
+	}
+	// The gain is monotone in M/P, so it stays above 2 beyond 2^12.
+	if g12, g20 := SubblockGain(1<<12), SubblockGain(1<<20); g20 <= g12 {
+		t.Fatal("gain should grow with M/P")
+	}
+	// And the gain must equal the ratio of the two bounds.
+	var mp, p int64 = 1 << 16, 8
+	m := mp * p
+	ratio := MaxN(Subblock, m, p) / MaxN(Threaded, m, p)
+	if math.Abs(ratio/SubblockGain(mp)-1) > 1e-12 {
+		t.Fatalf("gain %g != bound ratio %g", SubblockGain(mp), ratio)
+	}
+}
+
+// TestCrossoverFormula is experiment E9: M-columnsort sorts more records
+// than subblock iff M < 32·P^10; e.g. for P = 8, iff M < 2^35.
+func TestCrossoverFormula(t *testing.T) {
+	// The paper's example: P = 8 ⇒ threshold M = 32·8^10 = 2^35 records.
+	var p int64 = 8
+	if !CrossoverFormula(1<<35-1, p) {
+		t.Fatal("M = 2^35−1, P=8: m-columnsort should win")
+	}
+	if CrossoverFormula(1<<35, p) {
+		t.Fatal("M = 2^35, P=8: subblock should win (boundary)")
+	}
+	if CrossoverFormula(1<<36, p) {
+		t.Fatal("M = 2^36, P=8: subblock should win")
+	}
+}
+
+func TestCrossoverFormulaMatchesDirect(t *testing.T) {
+	f := func(lgM, lgP uint8) bool {
+		m := int64(1) << (10 + lgM%40) // 2^10..2^49
+		p := int64(1) << (lgP % 7)     // 1..64
+		return CrossoverFormula(m, p) == CrossoverDirect(m, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeightOK(t *testing.T) {
+	if !HeightOK(Threaded, 32, 4) || HeightOK(Threaded, 31, 4) {
+		t.Fatal("threaded height check wrong")
+	}
+	if !HeightOK(Subblock, 32, 4) || HeightOK(Subblock, 31, 4) {
+		t.Fatal("subblock height check wrong (s=4 needs r ≥ 32)")
+	}
+	if HeightOK(Subblock, 1<<20, 8) {
+		t.Fatal("subblock must reject non-square s")
+	}
+	if !HeightOK(MColumnsort, 2048, 32) || HeightOK(MColumnsort, 2047, 32) {
+		t.Fatal("m-columnsort height check wrong")
+	}
+	if !HeightOK(Combined, 4096, 16) { // 4·16·4 = 256 ≤ 4096
+		t.Fatal("combined height check wrong")
+	}
+}
+
+// TestBoundsConsistentWithHeight cross-checks formulas against the integer
+// height checks: an r×s shape just inside the bound passes, just outside
+// fails, and N = r·s at the critical s matches MaxN within rounding.
+func TestBoundsConsistentWithHeight(t *testing.T) {
+	var r int64 = 1 << 18
+	// Threaded: max s with 2s² ≤ r is s = 2^8.5 → 2^8 for powers of two;
+	// real-valued bound N = r·sqrt(r/2).
+	sMax := int64(math.Sqrt(float64(r) / 2))
+	if !HeightOK(Threaded, r, sMax) {
+		t.Fatal("sMax should satisfy height restriction")
+	}
+	nReal := MaxN(Threaded, r, 1) // m = r when p = 1
+	if got := float64(r) * float64(sMax); got > nReal*1.0000001 {
+		t.Fatalf("integer max N %g exceeds real bound %g", got, nReal)
+	}
+}
+
+func TestInCoreOK(t *testing.T) {
+	if !InCoreOK(512, 16) || InCoreOK(511, 16) {
+		t.Fatal("InCoreOK boundary wrong (needs M/P ≥ 2P² = 512)")
+	}
+}
+
+func TestTable(t *testing.T) {
+	rows := Table([]int64{1 << 16, 1 << 20}, []int64{4, 16})
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		if row.Bound2 <= row.Bound1 {
+			t.Fatalf("M/P=%d: subblock bound should exceed threaded", row.MOverP)
+		}
+		if row.Bound3 <= row.Bound1 {
+			t.Fatal("m-columnsort bound should exceed threaded")
+		}
+		if row.Combined <= row.Bound3 || row.Combined <= row.Bound2 {
+			t.Fatal("combined bound should dominate both relaxations")
+		}
+	}
+}
+
+// TestScalability captures the scalability argument of Section 1: doubling
+// P (with fixed M/P) leaves restrictions (1) and (2) unchanged but raises
+// restriction (3) superlinearly.
+func TestScalability(t *testing.T) {
+	var mp int64 = 1 << 20
+	n1 := MaxN(Threaded, mp*8, 8)
+	n2 := MaxN(Threaded, mp*16, 16)
+	if n1 != n2 {
+		t.Fatal("threaded bound should not scale with P at fixed M/P")
+	}
+	s1 := MaxN(Subblock, mp*8, 8)
+	s2 := MaxN(Subblock, mp*16, 16)
+	if s1 != s2 {
+		t.Fatal("subblock bound should not scale with P at fixed M/P")
+	}
+	m1 := MaxN(MColumnsort, mp*8, 8)
+	m2 := MaxN(MColumnsort, mp*16, 16)
+	if m2 <= 2*m1 {
+		t.Fatalf("m-columnsort should scale superlinearly: %g vs %g", m1, m2)
+	}
+	if math.Abs(m2/m1-math.Pow(2, 1.5)) > 1e-9 {
+		t.Fatalf("doubling M should give 2^1.5 ratio, got %g", m2/m1)
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	if HumanBytes(1024) != "1.00 KiB" {
+		t.Fatalf("got %q", HumanBytes(1024))
+	}
+	if HumanBytes(math.Pow(2, 40)) != "1.00 TiB" {
+		t.Fatalf("got %q", HumanBytes(math.Pow(2, 40)))
+	}
+	if HumanBytes(512) != "512.00 B" {
+		t.Fatalf("got %q", HumanBytes(512))
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for a, want := range map[Algorithm]string{
+		Threaded: "threaded", Subblock: "subblock",
+		MColumnsort: "m-columnsort", Combined: "combined",
+	} {
+		if a.String() != want {
+			t.Fatalf("%d.String() = %q", int(a), a.String())
+		}
+	}
+	if Algorithm(42).String() != "Algorithm(42)" {
+		t.Fatal("unknown algorithm string")
+	}
+}

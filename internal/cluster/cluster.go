@@ -1,0 +1,339 @@
+// Package cluster simulates the distributed-memory message-passing cluster
+// the paper runs on: P processors executing the same program (SPMD, as with
+// MPI), exchanging record buffers through tagged point-to-point messages and
+// a few collectives.
+//
+// Each processor is a goroutine; within a processor, the pipeline stages of
+// the out-of-core algorithms are further goroutines that may communicate
+// concurrently, so receives are matched MPI-style by (source, tag) rather
+// than by arrival order. Tags therefore encode (pass, stage, round), which
+// both demultiplexes concurrent streams and asserts the obliviousness of
+// the communication pattern: a tag mismatch means the pattern diverged from
+// the plan and is reported as corruption rather than mis-delivered.
+//
+// All traffic is counted into caller-supplied sim.Counters: messages between
+// distinct processors charge network bytes, self-destined messages charge
+// only local bytes (the paper's communicate stage likewise excludes the
+// message a processor sends itself from network traffic).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"colsort/internal/record"
+	"colsort/internal/sim"
+)
+
+// ErrAborted is returned by communication operations after the cluster has
+// been shut down by another processor's failure.
+var ErrAborted = errors.New("cluster: aborted by peer failure")
+
+// message is one in-flight buffer.
+type message struct {
+	tag  int
+	recs record.Slice
+}
+
+// mailbox queues messages from one source processor to one destination,
+// matched by tag. A condition variable rather than a channel because
+// receivers select by tag, not by arrival order.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending map[int][]record.Slice // tag → FIFO queue
+	closed  bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{pending: make(map[int][]record.Slice)}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(tag int, recs record.Slice) error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return ErrAborted
+	}
+	mb.pending[tag] = append(mb.pending[tag], recs)
+	mb.cond.Broadcast()
+	return nil
+}
+
+func (mb *mailbox) get(tag int) (record.Slice, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if q := mb.pending[tag]; len(q) > 0 {
+			recs := q[0]
+			if len(q) == 1 {
+				delete(mb.pending, tag)
+			} else {
+				mb.pending[tag] = q[1:]
+			}
+			return recs, nil
+		}
+		if mb.closed {
+			return record.Slice{}, ErrAborted
+		}
+		mb.cond.Wait()
+	}
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	mb.closed = true
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+// Cluster is the shared communication fabric of P processors.
+type Cluster struct {
+	p     int
+	boxes [][]*mailbox // boxes[dst][src]
+
+	barrierMu  sync.Mutex
+	barrierCnt int
+	barrierGen int
+	barrierCv  *sync.Cond
+
+	abortOnce sync.Once
+	aborted   bool
+}
+
+// New builds a cluster fabric for p processors.
+func New(p int) *Cluster {
+	if p < 1 {
+		panic(fmt.Sprintf("cluster: need at least one processor, got %d", p))
+	}
+	c := &Cluster{p: p}
+	c.boxes = make([][]*mailbox, p)
+	for d := range c.boxes {
+		c.boxes[d] = make([]*mailbox, p)
+		for s := range c.boxes[d] {
+			c.boxes[d][s] = newMailbox()
+		}
+	}
+	c.barrierCv = sync.NewCond(&c.barrierMu)
+	return c
+}
+
+// P returns the number of processors.
+func (c *Cluster) P() int { return c.p }
+
+// abort shuts down all mailboxes and releases barrier waiters, so that
+// every blocked processor unblocks with ErrAborted.
+func (c *Cluster) abort() {
+	c.abortOnce.Do(func() {
+		c.barrierMu.Lock()
+		c.aborted = true
+		c.barrierCv.Broadcast()
+		c.barrierMu.Unlock()
+		for _, row := range c.boxes {
+			for _, mb := range row {
+				mb.close()
+			}
+		}
+	})
+}
+
+// Proc is one processor's handle onto the cluster.
+type Proc struct {
+	rank int
+	c    *Cluster
+}
+
+// Rank returns this processor's id in [0, P).
+func (pr *Proc) Rank() int { return pr.rank }
+
+// NProcs returns the cluster size P.
+func (pr *Proc) NProcs() int { return pr.c.p }
+
+// Send delivers recs to processor dst under the given tag, transferring
+// buffer ownership to the receiver. Network traffic is charged to cnt
+// unless dst is the sender itself, which costs only a local handoff.
+func (pr *Proc) Send(cnt *sim.Counters, dst, tag int, recs record.Slice) error {
+	if dst < 0 || dst >= pr.c.p {
+		return fmt.Errorf("cluster: send to rank %d of %d", dst, pr.c.p)
+	}
+	if cnt != nil {
+		if dst == pr.rank {
+			cnt.LocalBytes += int64(len(recs.Data))
+			cnt.LocalMsgs++
+		} else {
+			cnt.NetBytes += int64(len(recs.Data))
+			cnt.NetMsgs++
+		}
+	}
+	return pr.c.boxes[dst][pr.rank].put(tag, recs)
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its buffer. Messages from one source under one tag arrive in
+// send order.
+func (pr *Proc) Recv(src, tag int) (record.Slice, error) {
+	if src < 0 || src >= pr.c.p {
+		return record.Slice{}, fmt.Errorf("cluster: recv from rank %d of %d", src, pr.c.p)
+	}
+	return pr.c.boxes[pr.rank][src].get(tag)
+}
+
+// Barrier blocks until all P processors have entered it. The out-of-core
+// algorithms use it only between passes, never inside the pipelines.
+func (pr *Proc) Barrier() error {
+	c := pr.c
+	c.barrierMu.Lock()
+	defer c.barrierMu.Unlock()
+	if c.aborted {
+		return ErrAborted
+	}
+	gen := c.barrierGen
+	c.barrierCnt++
+	if c.barrierCnt == c.p {
+		c.barrierCnt = 0
+		c.barrierGen++
+		c.barrierCv.Broadcast()
+		return nil
+	}
+	for c.barrierGen == gen && !c.aborted {
+		c.barrierCv.Wait()
+	}
+	if c.aborted {
+		return ErrAborted
+	}
+	return nil
+}
+
+// AllToAll performs the personalized all-to-all exchange at the heart of
+// the communicate stages: out[q] is sent to processor q, and the returned
+// slice holds in[q] received from every q (including this processor's own
+// contribution, which never touches the network). All processors must call
+// it with the same tag.
+func (pr *Proc) AllToAll(cnt *sim.Counters, tag int, out []record.Slice) ([]record.Slice, error) {
+	if len(out) != pr.c.p {
+		return nil, fmt.Errorf("cluster: all-to-all with %d buffers on %d processors", len(out), pr.c.p)
+	}
+	for q := 0; q < pr.c.p; q++ {
+		if err := pr.Send(cnt, q, tag, out[q]); err != nil {
+			return nil, err
+		}
+	}
+	in := make([]record.Slice, pr.c.p)
+	for q := 0; q < pr.c.p; q++ {
+		recs, err := pr.Recv(q, tag)
+		if err != nil {
+			return nil, err
+		}
+		in[q] = recs
+	}
+	return in, nil
+}
+
+// Broadcast sends root's buffer to every processor and returns each
+// processor's copy (the root's own buffer is returned as-is).
+func (pr *Proc) Broadcast(cnt *sim.Counters, root, tag int, recs record.Slice) (record.Slice, error) {
+	if pr.rank == root {
+		for q := 0; q < pr.c.p; q++ {
+			if q == root {
+				continue
+			}
+			cp := record.Make(recs.Len(), recs.Size)
+			cp.Copy(recs)
+			if err := pr.Send(cnt, q, tag, cp); err != nil {
+				return record.Slice{}, err
+			}
+		}
+		return recs, nil
+	}
+	return pr.Recv(root, tag)
+}
+
+// Gather collects every processor's buffer at root; non-roots receive nil.
+func (pr *Proc) Gather(cnt *sim.Counters, root, tag int, recs record.Slice) ([]record.Slice, error) {
+	if err := pr.Send(cnt, root, tag, recs); err != nil {
+		return nil, err
+	}
+	if pr.rank != root {
+		return nil, nil
+	}
+	all := make([]record.Slice, pr.c.p)
+	for q := 0; q < pr.c.p; q++ {
+		r, err := pr.Recv(q, tag)
+		if err != nil {
+			return nil, err
+		}
+		all[q] = r
+	}
+	return all, nil
+}
+
+// AllReduceUint64 folds one uint64 per processor with op (assumed
+// associative and commutative) and returns the result on every processor.
+// It rides on the record fabric with 8-byte records.
+func (pr *Proc) AllReduceUint64(cnt *sim.Counters, tag int, x uint64, op func(a, b uint64) uint64) (uint64, error) {
+	buf := record.Make(1, record.MinSize)
+	buf.SetKey(0, x)
+	all, err := pr.Gather(cnt, 0, tag, buf)
+	if err != nil {
+		return 0, err
+	}
+	var result record.Slice
+	if pr.rank == 0 {
+		acc := all[0].Key(0)
+		for q := 1; q < pr.c.p; q++ {
+			acc = op(acc, all[q].Key(0))
+		}
+		res := record.Make(1, record.MinSize)
+		res.SetKey(0, acc)
+		result, err = pr.Broadcast(cnt, 0, tag+1, res)
+	} else {
+		result, err = pr.Broadcast(cnt, 0, tag+1, record.Slice{})
+	}
+	if err != nil {
+		return 0, err
+	}
+	return result.Key(0), nil
+}
+
+// Run executes fn as rank 0..p−1 on p goroutine processors and waits for
+// all of them. The first failure (error or panic) aborts the cluster,
+// unblocking peers; Run returns that first failure.
+func Run(p int, fn func(*Proc) error) error {
+	c := New(p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for rank := 0; rank < p; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[rank] = fmt.Errorf("cluster: rank %d panicked: %v", rank, r)
+					c.abort()
+				}
+			}()
+			if err := fn(&Proc{rank: rank, c: c}); err != nil {
+				errs[rank] = err
+				c.abort()
+			}
+		}(rank)
+	}
+	wg.Wait()
+	// Prefer a non-abort error (the root cause) over cascaded aborts.
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, ErrAborted) {
+			return err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"colsort/internal/record"
+	"colsort/internal/sim"
+)
+
+func TestGroupValidation(t *testing.T) {
+	err := Run(4, func(pr *Proc) error {
+		if _, err := NewGroup(pr, []int{0, 1, 9}); err == nil {
+			return errors.New("out-of-range member accepted")
+		}
+		if _, err := NewGroup(pr, []int{0, 0, 1, 2, 3}); err == nil {
+			return errors.New("duplicate member accepted")
+		}
+		peer := (pr.Rank() + 1) % 4
+		if _, err := NewGroup(pr, []int{peer}); err == nil {
+			return errors.New("group without the caller accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContiguousGroupExchange(t *testing.T) {
+	// Two groups of 2 on a 4-processor cluster, doing independent
+	// all-to-alls with the same tag: the groups must not cross-talk.
+	err := Run(4, func(pr *Proc) error {
+		var cnt sim.Counters
+		base := (pr.Rank() / 2) * 2
+		g, err := ContiguousGroup(pr, base, 2)
+		if err != nil {
+			return err
+		}
+		if g.NProcs() != 2 {
+			return fmt.Errorf("group size %d", g.NProcs())
+		}
+		if g.Global(g.Rank()) != pr.Rank() {
+			return errors.New("rank translation broken")
+		}
+		out := make([]record.Slice, 2)
+		for d := range out {
+			out[d] = record.Make(1, 8)
+			out[d].SetKey(0, uint64(100*base+10*g.Rank()+d))
+		}
+		in, err := g.AllToAll(&cnt, 7, out)
+		if err != nil {
+			return err
+		}
+		for s := range in {
+			want := uint64(100*base + 10*s + g.Rank())
+			if in[s].Key(0) != want {
+				return fmt.Errorf("rank %d got %d from %d, want %d (cross-group leak?)",
+					pr.Rank(), in[s].Key(0), s, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonContiguousGroup(t *testing.T) {
+	// A group of the even ranks exchanging while odd ranks idle.
+	err := Run(4, func(pr *Proc) error {
+		if pr.Rank()%2 == 1 {
+			return nil
+		}
+		var cnt sim.Counters
+		g, err := NewGroup(pr, []int{0, 2})
+		if err != nil {
+			return err
+		}
+		m := record.Make(1, 8)
+		m.SetKey(0, uint64(pr.Rank()))
+		if err := g.Send(&cnt, 1-g.Rank(), 3, m); err != nil {
+			return err
+		}
+		got, err := g.Recv(1-g.Rank(), 3)
+		if err != nil {
+			return err
+		}
+		if got.Key(0) != uint64(2-pr.Rank()) {
+			return fmt.Errorf("got %d", got.Key(0))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupCollectives(t *testing.T) {
+	err := Run(4, func(pr *Proc) error {
+		var cnt sim.Counters
+		g, err := ContiguousGroup(pr, 0, 4)
+		if err != nil {
+			return err
+		}
+		var payload record.Slice
+		if g.Rank() == 1 {
+			payload = record.Make(1, 8)
+			payload.SetKey(0, 55)
+		}
+		got, err := g.Broadcast(&cnt, 1, 20, payload)
+		if err != nil {
+			return err
+		}
+		if got.Key(0) != 55 {
+			return fmt.Errorf("broadcast got %d", got.Key(0))
+		}
+		mine := record.Make(1, 8)
+		mine.SetKey(0, uint64(g.Rank()))
+		all, err := g.Gather(&cnt, 2, 21, mine)
+		if err != nil {
+			return err
+		}
+		if g.Rank() == 2 {
+			for s := range all {
+				if all[s].Key(0) != uint64(s) {
+					return fmt.Errorf("gather slot %d = %d", s, all[s].Key(0))
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupRangeChecks(t *testing.T) {
+	err := Run(2, func(pr *Proc) error {
+		var cnt sim.Counters
+		g, err := ContiguousGroup(pr, 0, 2)
+		if err != nil {
+			return err
+		}
+		if err := g.Send(&cnt, 5, 0, record.Slice{}); err == nil {
+			return errors.New("send to group rank 5 accepted")
+		}
+		if _, err := g.Recv(-1, 0); err == nil {
+			return errors.New("recv from group rank -1 accepted")
+		}
+		if _, err := g.AllToAll(&cnt, 0, make([]record.Slice, 3)); err == nil {
+			return errors.New("wrong all-to-all width accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"colsort/internal/bitperm"
+	"colsort/internal/pdm"
+	"colsort/internal/record"
+	"colsort/internal/sim"
+)
+
+// countersOf sums counters over processors for one pass.
+func countersOf(res *Result, pass int) sim.Counters {
+	var tot sim.Counters
+	for _, c := range res.PassCounters[pass] {
+		tot.Add(c)
+	}
+	return tot
+}
+
+// TestPassIOVolume verifies the defining property of a pass: every pass
+// reads N·Z bytes and writes N·Z bytes, no more and no less.
+func TestPassIOVolume(t *testing.T) {
+	cases := []struct {
+		alg       Algorithm
+		n         int64
+		p, d, mem int
+	}{
+		{Threaded, 512 * 8, 4, 4, 512},
+		{Threaded4, 512 * 8, 4, 4, 512},
+		{Subblock, 256 * 16, 4, 4, 256},
+		{MColumn, 256 * 8, 4, 4, 64},
+		{Combined, 256 * 16, 4, 4, 64},
+	}
+	for _, tc := range cases {
+		res := runAlg(t, tc.alg, tc.n, tc.p, tc.d, tc.mem, 16, record.Uniform{Seed: 1})
+		if len(res.PassCounters) != tc.alg.Passes() {
+			t.Fatalf("%v: %d passes recorded, want %d", tc.alg, len(res.PassCounters), tc.alg.Passes())
+		}
+		want := tc.n * 16
+		for k := range res.PassCounters {
+			tot := countersOf(res, k)
+			if tot.DiskReadBytes != want || tot.DiskWriteBytes != want {
+				t.Fatalf("%v pass %d: read %d write %d bytes, want %d each",
+					tc.alg, k+1, tot.DiskReadBytes, tot.DiskWriteBytes, want)
+			}
+		}
+	}
+}
+
+// TestSubblockMessageCounts is experiment E5 measured on the real runs:
+// in the subblock pass each processor sends exactly ⌈P/√s⌉ messages per
+// round, and when √s ≥ P none of them cross the network.
+func TestSubblockMessageCounts(t *testing.T) {
+	cases := []struct{ p, s, r int }{
+		{2, 16, 256},  // √s=4 ≥ P=2: no network traffic
+		{4, 16, 256},  // √s=4 ≥ P=4: no network traffic
+		{8, 16, 256},  // √s=4 < P: P/√s = 2 messages
+		{16, 16, 256}, // P/√s = 4 messages
+	}
+	for _, tc := range cases {
+		n := int64(tc.r) * int64(tc.s)
+		res := runAlg(t, Subblock, n, tc.p, tc.p, tc.r, 16, record.Uniform{Seed: 9})
+		rounds := int64(tc.s / tc.p)
+		wantPerRound := int64(bitperm.MessagesPerRound(tc.p, tc.s))
+		sub := countersOf(res, 1) // pass 2 is the subblock pass
+		msgs := sub.NetMsgs + sub.LocalMsgs
+		wantTotal := wantPerRound * rounds * int64(tc.p)
+		if msgs != wantTotal {
+			t.Fatalf("P=%d s=%d: subblock pass sent %d messages, want ⌈P/√s⌉·rounds·P = %d",
+				tc.p, tc.s, msgs, wantTotal)
+		}
+		if bitperm.NoNetworkComm(tc.p, tc.s) {
+			if sub.NetMsgs != 0 || sub.NetBytes != 0 {
+				t.Fatalf("P=%d s=%d: √s ≥ P but %d messages (%d bytes) crossed the network",
+					tc.p, tc.s, sub.NetMsgs, sub.NetBytes)
+			}
+		} else if sub.NetMsgs == 0 {
+			t.Fatalf("P=%d s=%d: expected network traffic", tc.p, tc.s)
+		}
+	}
+}
+
+// TestThreadedMessageCounts: passes 1 and 2 of threaded columnsort send
+// exactly P messages per processor per round (Section 2), one of which is
+// self-destined.
+func TestThreadedMessageCounts(t *testing.T) {
+	const p, r, s = 4, 512, 8
+	res := runAlg(t, Threaded, r*s, p, p, r, 16, record.Uniform{Seed: 3})
+	rounds := int64(s / p)
+	for pass := 0; pass < 2; pass++ {
+		tot := countersOf(res, pass)
+		if tot.NetMsgs != rounds*int64(p)*int64(p-1) {
+			t.Fatalf("pass %d: %d network messages, want %d", pass+1, tot.NetMsgs, rounds*int64(p)*int64(p-1))
+		}
+		if tot.LocalMsgs != rounds*int64(p) {
+			t.Fatalf("pass %d: %d self messages, want %d", pass+1, tot.LocalMsgs, rounds*int64(p))
+		}
+		// Message payloads: each message carries r/P records of 16 bytes.
+		wantBytes := rounds * int64(p) * int64(p-1) * int64(r/p) * 16
+		if tot.NetBytes != wantBytes {
+			t.Fatalf("pass %d: %d net bytes, want %d", pass+1, tot.NetBytes, wantBytes)
+		}
+	}
+}
+
+// TestBaselineCountersPureIO: the baseline program must show zero
+// communication and zero comparison work.
+func TestBaselineCountersPureIO(t *testing.T) {
+	pl, err := NewPlan(BaselineIO3, 512*8, 4, 8, 512, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := pdm.Machine{P: 4, D: 8}
+	input, err := pl.NewInput(m, record.Uniform{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer input.Close()
+	res, err := Run(pl, m, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Output.Close()
+	tot := res.TotalCounters()
+	if tot.NetMsgs != 0 || tot.NetBytes != 0 || tot.LocalMsgs != 0 || tot.CompareUnits != 0 {
+		t.Fatalf("baseline did non-I/O work: %+v", tot)
+	}
+	if tot.DiskReadBytes != 3*pl.N*int64(pl.Z) {
+		t.Fatalf("baseline read %d bytes, want %d", tot.DiskReadBytes, 3*pl.N*int64(pl.Z))
+	}
+}
+
+// TestMColumnsortCommDominates: M-columnsort must move far more bytes over
+// the network than threaded columnsort on the same problem — the paper's
+// "substantial amounts of communication" (Section 4).
+func TestMColumnsortCommDominates(t *testing.T) {
+	const n, p, z = 256 * 8, 4, 16
+	th := runAlg(t, Threaded, n, p, p, 512, z, record.Uniform{Seed: 5})
+	mc := runAlg(t, MColumn, n, p, p, 64, z, record.Uniform{Seed: 5})
+	thNet := th.TotalCounters().NetBytes
+	mcNet := mc.TotalCounters().NetBytes
+	if mcNet <= thNet {
+		t.Fatalf("m-columnsort net bytes %d not above threaded %d", mcNet, thNet)
+	}
+}
+
+// TestMergePassBoundaryTraffic: the final fused pass exchanges exactly one
+// half-column forward and one back per interior boundary.
+func TestMergePassBoundaryTraffic(t *testing.T) {
+	const p, r, s, z = 4, 512, 8, 16
+	res := runAlg(t, Threaded, r*s, p, p, r, z, record.Uniform{Seed: 8})
+	last := countersOf(res, 2)
+	boundaries := int64(s - 1)
+	wantMsgs := 2 * boundaries // bottom forward + final bottom back
+	if last.NetMsgs+last.LocalMsgs != wantMsgs {
+		t.Fatalf("merge pass sent %d messages, want %d", last.NetMsgs+last.LocalMsgs, wantMsgs)
+	}
+	wantBytes := 2 * boundaries * int64(r/2) * int64(z)
+	if last.NetBytes+last.LocalBytes != wantBytes {
+		t.Fatalf("merge pass moved %d message bytes, want %d", last.NetBytes+last.LocalBytes, wantBytes)
+	}
+}
+
+// TestEstimateShapes: applying the Beowulf cost model to measured counters
+// must reproduce the qualitative Figure-2 relationships even at test scale:
+// subblock > threaded (one extra pass) and every algorithm ≥ its baseline.
+func TestEstimateShapes(t *testing.T) {
+	const z = 16
+	cm := sim.Beowulf2003()
+	th := runAlg(t, Threaded, 512*8, 4, 4, 512, z, record.Uniform{Seed: 2})
+	sb := runAlg(t, Subblock, 256*16, 4, 4, 256, z, record.Uniform{Seed: 2})
+	thT := th.Estimate(cm).Total
+	sbT := sb.Estimate(cm).Total
+	if sbT <= thT {
+		t.Fatalf("subblock estimate %.3f not above threaded %.3f", sbT, thT)
+	}
+	// Same data volume ⇒ the 4-pass algorithm moves exactly 4/3 the disk
+	// bytes of the 3-pass one. (At paper scale transfer time dominates
+	// seeks, so this is also the time ratio of Figure 2's baselines.)
+	thB := th.TotalCounters().DiskReadBytes + th.TotalCounters().DiskWriteBytes
+	sbB := sb.TotalCounters().DiskReadBytes + sb.TotalCounters().DiskWriteBytes
+	if 3*sbB != 4*thB {
+		t.Fatalf("disk byte ratio %d/%d, want exactly 4/3", sbB, thB)
+	}
+}
+
+// TestDeterministicCounters: identical runs must produce identical counter
+// totals (the pattern is oblivious; scheduling must not leak into counts).
+func TestDeterministicCounters(t *testing.T) {
+	a := runAlg(t, Subblock, 256*16, 4, 4, 256, 16, record.Uniform{Seed: 77})
+	b := runAlg(t, Subblock, 256*16, 4, 4, 256, 16, record.Uniform{Seed: 77})
+	ta, tb := a.TotalCounters(), b.TotalCounters()
+	if ta != tb {
+		t.Fatalf("counters differ across identical runs:\n%+v\n%+v", ta, tb)
+	}
+}

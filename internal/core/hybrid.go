@@ -1,0 +1,399 @@
+package core
+
+import (
+	"fmt"
+
+	"colsort/internal/bitperm"
+	"colsort/internal/bounds"
+	"colsort/internal/cluster"
+	"colsort/internal/incore"
+	"colsort/internal/pdm"
+	"colsort/internal/pipeline"
+	"colsort/internal/record"
+	"colsort/internal/sim"
+)
+
+// Hybrid group columnsort realizes the paper's second future-work item
+// (Section 6): column heights BETWEEN M/P and M. The P processors form
+// P/g groups of g; each column holds r = g·(M/P) records owned by one
+// group (pdm.GroupBlocked) and is sorted by a distributed in-core
+// columnsort WITHIN the group, while the communicate stage scatters records
+// across groups. g = 1 degenerates to threaded columnsort and g = P to
+// M-columnsort (both served by their dedicated implementations); the
+// planner accepts 2 ≤ g ≤ P/2, trading the problem-size bound
+// N ≤ (g·M/P)^{3/2}/√2 against sort-stage communication exactly as
+// internal/hybrid's analytic model predicts.
+
+// NewHybridPlan validates a hybrid configuration with group size g.
+func NewHybridPlan(n int64, p, d, memPerProc, recSize, g int) (Plan, error) {
+	pl := Plan{Alg: Hybrid, N: n, P: p, D: d, MemPerProc: memPerProc, Z: recSize, Group: g}
+	if err := record.CheckSize(recSize); err != nil {
+		return pl, err
+	}
+	if p < 1 || d < p || d%p != 0 {
+		return pl, fmt.Errorf("core: need P ≥ 1 and P | D, got P=%d D=%d", p, d)
+	}
+	if !bitperm.IsPow2(p) || !bitperm.IsPow2(memPerProc) || memPerProc < 2 {
+		return pl, fmt.Errorf("core: P=%d and M/P=%d must be powers of 2 (M/P even)", p, memPerProc)
+	}
+	if !bitperm.IsPow2(g) || g < 2 || g > p/2 {
+		return pl, fmt.Errorf("core: hybrid group size g=%d must be a power of 2 with 2 ≤ g ≤ P/2=%d (use threaded for g=1, m-columnsort for g=P)", g, p/2)
+	}
+	if n < 1 || n&(n-1) != 0 {
+		return pl, fmt.Errorf("core: N=%d must be a positive power of 2", n)
+	}
+	pl.R = g * memPerProc
+	pl.Layout = pdm.GroupBlocked
+	if int64(pl.R) > n {
+		return pl, fmt.Errorf("core: N=%d smaller than one column r=%d", n, pl.R)
+	}
+	pl.S = int(n / int64(pl.R))
+	ng := p / g
+	if pl.S%ng != 0 {
+		return pl, fmt.Errorf("core: the %d groups must evenly share s=%d columns", ng, pl.S)
+	}
+	if pl.R%pl.S != 0 {
+		return pl, fmt.Errorf("core: s=%d must divide r=%d", pl.S, pl.R)
+	}
+	if memPerProc%pl.S != 0 {
+		return pl, fmt.Errorf("core: s=%d must divide M/P=%d for balanced group writes", pl.S, memPerProc)
+	}
+	if !bounds.HeightOK(bounds.Threaded, int64(pl.R), int64(pl.S)) {
+		return pl, fmt.Errorf("core: hybrid height restriction violated: r=%d < 2s²=%d (%w)",
+			pl.R, 2*pl.S*pl.S, ErrTooLarge)
+	}
+	if pl.S > 1 && !bounds.InCoreOK(int64(memPerProc), int64(g)) {
+		return pl, fmt.Errorf("core: in-core height restriction violated within groups: M/P=%d < 2g²=%d", memPerProc, 2*g*g)
+	}
+	return pl, nil
+}
+
+const hybridTagStride = 4 * incore.TagSpan
+
+// hybridSpec is one hybrid distribution pass (steps 1–2 or 3–4).
+type hybridSpec struct {
+	name    string
+	destCol func(rank int64) int   // target column of a sorted rank
+	occ     func(rank int64) int64 // rank's index within its column's chunk
+}
+
+// runHybridScatterPass: per round, each group reads one of its columns,
+// sorts it with the in-group distributed columnsort, and scatters records
+// to the blocks of the target columns' owners across all groups.
+func runHybridScatterPass(pr *cluster.Proc, pl Plan, spec hybridSpec, in, out *pdm.Store, tagBase int, cnt *sim.Counters) error {
+	q := pr.Rank()
+	P, g := pl.P, pl.Group
+	ng := P / g
+	r, s, z := pl.R, pl.S, pl.Z
+	rb := r / g
+	a, m := q/g, q%g
+	lo := m * rb
+	c := r / s
+	share := c / g
+	rounds := s / ng
+	sorter := incore.Columnsort{}
+
+	grp, err := cluster.ContiguousGroup(pr, a*g, g)
+	if err != nil {
+		return err
+	}
+
+	var cRead, cSort, cComm, cWrite sim.Counters
+	written := make(map[int]int) // per owned target column, block-local rows written
+
+	type round struct {
+		t, col int
+		buf    record.Slice
+		// perCol holds, per target column, this round's arrival chunk
+		// (ng·share records) and its block-local start position.
+		perCol map[int]record.Slice
+	}
+
+	read := func(rd round) (round, error) {
+		rd.buf = record.Make(rb, z)
+		if err := in.ReadRows(&cRead, q, rd.col, lo, rd.buf); err != nil {
+			return rd, err
+		}
+		cRead.Rounds++
+		return rd, nil
+	}
+
+	sortStage := func(rd round) (round, error) {
+		sorted, err := sorter.Sort(grp, &cSort, tagBase+rd.t*hybridTagStride, rd.buf)
+		if err != nil {
+			return rd, err
+		}
+		rd.buf = sorted
+		return rd, nil
+	}
+
+	dest := func(gi int64) (proc int, tj int) {
+		tj = spec.destCol(gi)
+		k := spec.occ(gi)
+		return (tj%ng)*g + int(k/int64(share)), tj
+	}
+
+	distribute := func(rd round) (round, error) {
+		// Pack per destination processor, in rank order.
+		counts := make([]int, P)
+		for i := 0; i < rb; i++ {
+			d, _ := dest(int64(lo) + int64(i))
+			counts[d]++
+		}
+		outMsgs := make([]record.Slice, P)
+		fill := make([]int, P)
+		for d := 0; d < P; d++ {
+			outMsgs[d] = record.Make(counts[d], z)
+		}
+		for i := 0; i < rb; i++ {
+			d, _ := dest(int64(lo) + int64(i))
+			outMsgs[d].CopyRecord(fill[d], rd.buf, i)
+			fill[d]++
+		}
+		cComm.MovedBytes += int64(rb * z)
+		rd.buf = record.Slice{}
+		tag := tagBase + rd.t*hybridTagStride + incore.TagSpan
+		inMsgs, err := pr.AllToAll(&cComm, tag, outMsgs)
+		if err != nil {
+			return rd, err
+		}
+
+		// Replay every source's rank range in order; my arrivals for each
+		// target column land contiguously in (source group, occurrence)
+		// order — one block-local segment per column per round.
+		rd.perCol = make(map[int]record.Slice)
+		fills := make(map[int]int)
+		next := make([]int, P)
+		for src := 0; src < P; src++ {
+			msg := inMsgs[src]
+			srcLo := int64(src%g) * int64(rb)
+			for i := 0; i < rb; i++ {
+				gi := srcLo + int64(i)
+				d, tj := dest(gi)
+				if d != q {
+					continue
+				}
+				buf, ok := rd.perCol[tj]
+				if !ok {
+					buf = record.Make(ng*share, z)
+					rd.perCol[tj] = buf
+				}
+				if next[src] >= msg.Len() {
+					return rd, fmt.Errorf("core: %s: message from %d shorter than pattern", spec.name, src)
+				}
+				buf.CopyRecord(fills[tj], msg, next[src])
+				fills[tj]++
+				next[src]++
+			}
+			if msg.Data != nil && next[src] != msg.Len() {
+				return rd, fmt.Errorf("core: %s: message from %d has %d records, pattern used %d",
+					spec.name, src, msg.Len(), next[src])
+			}
+			cComm.MovedBytes += int64(msg.Len() * z)
+		}
+		for tj, n := range fills {
+			if n != ng*share {
+				return rd, fmt.Errorf("core: %s: column %d received %d of %d records this round", spec.name, tj, n, ng*share)
+			}
+		}
+		return rd, nil
+	}
+
+	write := func(rd round) error {
+		for tj := 0; tj < s; tj++ {
+			chunk, ok := rd.perCol[tj]
+			if !ok {
+				continue
+			}
+			if err := out.WriteRows(&cWrite, q, tj, lo+written[tj], chunk); err != nil {
+				return err
+			}
+			written[tj] += chunk.Len()
+		}
+		return nil
+	}
+
+	src := func(emit func(round) error) error {
+		for t := 0; t < rounds; t++ {
+			if err := emit(round{t: t, col: t*ng + a}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	err = pipeline.Run(pipeDepth, src, write, read, sortStage, distribute)
+	for _, ct := range []sim.Counters{cRead, cSort, cComm, cWrite} {
+		cnt.Add(ct)
+	}
+	if err != nil {
+		return fmt.Errorf("core: %s pass: %w", spec.name, err)
+	}
+	for tj, n := range written {
+		if n != rb {
+			return fmt.Errorf("core: %s pass: block of column %d received %d of %d records", spec.name, tj, n, rb)
+		}
+	}
+	return nil
+}
+
+// runHybridMergePass executes the fused steps 5–8 for the hybrid layout:
+// per round each group sorts its column in-core; the overlap
+// O = [bottom(j−1); top(j)] is assembled ON column j's group (bottom pieces
+// arrive from the left-hand group, top pieces shift within the group), the
+// group sorts O, and a rotation returns each final half-column to the
+// owners of its rows for true-order writes.
+func runHybridMergePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, tagBase int, cnt *sim.Counters) error {
+	q := pr.Rank()
+	P, g := pl.P, pl.Group
+	ng := P / g
+	r, s, z := pl.R, pl.S, pl.Z
+	rb := r / g
+	a, m := q/g, q%g
+	lo := m * rb
+	h2 := g / 2
+	rounds := s / ng
+	sorter := incore.Columnsort{}
+
+	grp, err := cluster.ContiguousGroup(pr, a*g, g)
+	if err != nil {
+		return err
+	}
+
+	// Cross-round tags live beyond every round window.
+	crossBase := tagBase + (rounds+1)*hybridTagStride
+	tagTB := func(j int) int { return crossBase + 4*j }     // bottom pieces → right group
+	tagTT := func(j int) int { return crossBase + 4*j + 1 } // top pieces up within the group
+	tagTF := func(j int) int { return crossBase + 4*j + 2 } // final bottoms → left group
+	tagTG := func(j int) int { return crossBase + 4*j + 3 } // final tops down within the group
+
+	var cRead, cSort, cBound, cWrite sim.Counters
+
+	type round struct {
+		t, col int
+		buf    record.Slice
+		writes []record.Slice
+		rows   []int
+	}
+
+	read := func(rd round) (round, error) {
+		rd.buf = record.Make(rb, z)
+		if err := in.ReadRows(&cRead, q, rd.col, lo, rd.buf); err != nil {
+			return rd, err
+		}
+		cRead.Rounds++
+		return rd, nil
+	}
+
+	sortStage := func(rd round) (round, error) {
+		sorted, err := sorter.Sort(grp, &cSort, tagBase+rd.t*hybridTagStride, rd.buf)
+		if err != nil {
+			return rd, err
+		}
+		rd.buf = sorted
+		return rd, nil
+	}
+
+	boundary := func(rd round) (round, error) {
+		j := rd.t*ng + a
+		left := (a - 1 + ng) % ng
+		right := (a + 1) % ng
+		addWrite := func(row int, recs record.Slice) {
+			rd.writes = append(rd.writes, recs)
+			rd.rows = append(rd.rows, row)
+		}
+
+		// Dispatch my sorted piece.
+		if m >= h2 { // part of bottom(j)
+			if j+1 < s {
+				if err := pr.Send(&cBound, right*g+(m-h2), tagTB(j), rd.buf); err != nil {
+					return rd, err
+				}
+			} else {
+				addWrite(lo, rd.buf) // last column's bottom is final
+			}
+		} else { // part of top(j)
+			if j == 0 {
+				addWrite(lo, rd.buf) // first column's top is final
+			} else {
+				if err := pr.Send(&cBound, a*g+(m+h2), tagTT(j), rd.buf); err != nil {
+					return rd, err
+				}
+			}
+		}
+		rd.buf = record.Slice{}
+
+		// Resolve boundary (j−1, j) on this group.
+		if j > 0 {
+			var oPiece record.Slice
+			var err error
+			if m < h2 { // low half of O: bottom(j−1) pieces from the left group
+				oPiece, err = pr.Recv(left*g+(m+h2), tagTB(j-1))
+			} else { // high half of O: top(j) pieces from within the group
+				oPiece, err = pr.Recv(a*g+(m-h2), tagTT(j))
+			}
+			if err != nil {
+				return rd, err
+			}
+			sortedO, err := sorter.Sort(grp, &cBound, tagBase+rd.t*hybridTagStride+2*incore.TagSpan, oPiece)
+			if err != nil {
+				return rd, err
+			}
+			// Rotation: low half is column j−1's final bottom (owned by
+			// the left group's upper members); high half is column j's
+			// final top (owned by this group's lower members).
+			if m < h2 {
+				if err := pr.Send(&cBound, left*g+(m+h2), tagTF(j-1), sortedO); err != nil {
+					return rd, err
+				}
+			} else {
+				if err := pr.Send(&cBound, a*g+(m-h2), tagTG(j), sortedO); err != nil {
+					return rd, err
+				}
+			}
+			if m < h2 {
+				top, err := pr.Recv(a*g+(m+h2), tagTG(j))
+				if err != nil {
+					return rd, err
+				}
+				addWrite(lo, top)
+			}
+		}
+		// Collect my column's final bottom from the right group.
+		if j+1 < s && m >= h2 {
+			fin, err := pr.Recv(right*g+(m-h2), tagTF(j))
+			if err != nil {
+				return rd, err
+			}
+			addWrite(lo, fin)
+		}
+		return rd, nil
+	}
+
+	write := func(rd round) error {
+		for k, recs := range rd.writes {
+			if err := out.WriteRows(&cWrite, q, rd.col, rd.rows[k], recs); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	src := func(emit func(round) error) error {
+		for t := 0; t < rounds; t++ {
+			if err := emit(round{t: t, col: t*ng + a}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	err = pipeline.Run(pipeDepth, src, write, read, sortStage, boundary)
+	for _, ct := range []sim.Counters{cRead, cSort, cBound, cWrite} {
+		cnt.Add(ct)
+	}
+	if err != nil {
+		return fmt.Errorf("core: hybrid merge pass: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+// Package core implements the paper's out-of-core sorting algorithms on the
+// simulated cluster: 4-pass columnsort [CCW01], 3-pass threaded columnsort
+// [CC02], subblock columnsort (Section 3), M-columnsort (Section 4), the
+// 3- and 4-pass baseline I/O programs used in Figure 2, and the Section-6
+// future-work combination of subblock and M-columnsort.
+//
+// # Arrival-order intermediate layout
+//
+// Every columnsort pass begins by sorting its column, so the order of
+// records WITHIN a column of an intermediate store is irrelevant — only the
+// set of records per column matters. The permute/write stages exploit this:
+// each processor appends the records arriving for an owned column as one
+// contiguous chunk per (source column, target column) pair, never issuing
+// strided writes. Because records leave the sort stage in sorted order,
+// every such chunk is itself a sorted run whose length is known analytically
+// (r/s after steps 2 and 4, r/√s after the subblock permutation), and the
+// next pass's sort stage merges runs instead of sorting from scratch — the
+// optimization footnote 5 of the paper describes. Only the final pass
+// writes true row order, which is what makes the output a sorted file.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"colsort/internal/bitperm"
+	"colsort/internal/bounds"
+	"colsort/internal/pdm"
+	"colsort/internal/record"
+)
+
+// ErrTooLarge marks plan failures where N exceeds the algorithm's
+// problem-size restriction — growing N further can never help, unlike
+// divisibility failures. Callers detect it with errors.Is.
+var ErrTooLarge = errors.New("problem-size restriction exceeded")
+
+// Algorithm selects the out-of-core sorting program.
+type Algorithm int
+
+const (
+	// Threaded4 is the original 4-pass out-of-core columnsort of [CCW01]:
+	// passes [1,2], [3,4], [5,6], [7,8].
+	Threaded4 Algorithm = iota
+	// Threaded is the 3-pass threaded columnsort of [CC02], the paper's
+	// baseline: passes [1,2], [3,4], [5–8].
+	Threaded
+	// Subblock is subblock columnsort: [1,2], [3,3.1], [3.2,4], [5–8],
+	// with the relaxed height restriction r ≥ 4·s^{3/2} (restriction (2)).
+	Subblock
+	// MColumn is M-columnsort: the 3-pass program with the column height
+	// reinterpreted as r = M, each column sorted by a distributed in-core
+	// sort (restriction (3)).
+	MColumn
+	// Combined is the Section-6 future-work algorithm: the subblock pass
+	// structure with r = M, giving N ≤ M^{5/3}/4^{2/3}.
+	Combined
+	// BaselineIO3 and BaselineIO4 only read and write every record the
+	// given number of times, measuring the I/O floor of Figure 2.
+	BaselineIO3
+	BaselineIO4
+	// Hybrid is group columnsort (Section-6 future work): column height
+	// r = g·(M/P) for a group size 2 ≤ g ≤ P/2, interpolating between
+	// threaded columnsort (g = 1) and M-columnsort (g = P). Plans are
+	// built with NewHybridPlan.
+	Hybrid
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Threaded4:
+		return "threaded-4pass"
+	case Threaded:
+		return "threaded"
+	case Subblock:
+		return "subblock"
+	case MColumn:
+		return "m-columnsort"
+	case Combined:
+		return "combined"
+	case BaselineIO3:
+		return "baseline-io-3pass"
+	case BaselineIO4:
+		return "baseline-io-4pass"
+	case Hybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Passes returns the number of passes over the data the algorithm makes.
+func (a Algorithm) Passes() int {
+	switch a {
+	case Threaded4, Subblock, Combined, BaselineIO4:
+		return 4
+	default:
+		return 3
+	}
+}
+
+// Plan is a validated configuration for one out-of-core sort.
+type Plan struct {
+	Alg Algorithm
+
+	// N = R·S records of Z bytes arranged as an R×S matrix.
+	N int64
+	R int // records per column
+	S int // columns
+	Z int // record size, bytes
+
+	P int // processors
+	D int // disks (P | D)
+
+	// MemPerProc is the per-processor column buffer in records — the
+	// paper's "buffer size" knob. Threaded and subblock columnsort use
+	// R = MemPerProc; M-columnsort uses R = MemPerProc·P; hybrid group
+	// columnsort uses R = MemPerProc·Group.
+	MemPerProc int
+
+	// Group is the hybrid group size g (set only for Alg == Hybrid).
+	Group int
+
+	// Layout of every store the algorithm touches.
+	Layout pdm.Layout
+}
+
+// NewPlan validates a configuration, applying each algorithm's height
+// restriction and divisibility requirements (Section 2 assumes all
+// parameters are powers of 2, and subblock columnsort needs s to be a
+// power of 4).
+func NewPlan(alg Algorithm, n int64, p, d, memPerProc, recSize int) (Plan, error) {
+	pl := Plan{Alg: alg, N: n, P: p, D: d, MemPerProc: memPerProc, Z: recSize}
+	if err := record.CheckSize(recSize); err != nil {
+		return pl, err
+	}
+	if p < 1 || d < p || d%p != 0 {
+		return pl, fmt.Errorf("core: need P ≥ 1 and P | D, got P=%d D=%d", p, d)
+	}
+	if !bitperm.IsPow2(p) {
+		return pl, fmt.Errorf("core: P=%d must be a power of 2", p)
+	}
+	if memPerProc < 1 || !bitperm.IsPow2(memPerProc) {
+		return pl, fmt.Errorf("core: memory per processor %d must be a positive power of 2", memPerProc)
+	}
+	if n < 1 || n&(n-1) != 0 {
+		return pl, fmt.Errorf("core: N=%d must be a positive power of 2", n)
+	}
+
+	switch alg {
+	case Threaded4, Threaded, Subblock, BaselineIO3, BaselineIO4:
+		pl.R = memPerProc
+		pl.Layout = pdm.ColumnOwned
+	case MColumn, Combined:
+		pl.R = memPerProc * p
+		pl.Layout = pdm.RowBlocked
+	case Hybrid:
+		return pl, fmt.Errorf("core: hybrid plans need NewHybridPlan (a group size is required)")
+	default:
+		return pl, fmt.Errorf("core: unknown algorithm %v", alg)
+	}
+
+	if int64(pl.R) > n {
+		// Degenerate single-column problems are legal only if exactly one
+		// column results.
+		if alg == MColumn || alg == Combined {
+			return pl, fmt.Errorf("core: N=%d smaller than one column r=%d", n, pl.R)
+		}
+		return pl, fmt.Errorf("core: N=%d smaller than one column r=%d; shrink the buffer", n, pl.R)
+	}
+	s64 := n / int64(pl.R)
+	if s64*int64(pl.R) != n || s64 > int64(1)<<30 {
+		return pl, fmt.Errorf("core: r=%d must divide N=%d", pl.R, n)
+	}
+	pl.S = int(s64)
+
+	if pl.R%pl.S != 0 {
+		return pl, fmt.Errorf("core: s=%d must divide r=%d", pl.S, pl.R)
+	}
+
+	switch alg {
+	case Threaded4, Threaded, MColumn:
+		if !bounds.HeightOK(bounds.Threaded, int64(pl.R), int64(pl.S)) {
+			return pl, fmt.Errorf("core: %v height restriction violated: r=%d < 2s²=%d (%w)",
+				alg, pl.R, 2*pl.S*pl.S, ErrTooLarge)
+		}
+	case Subblock, Combined:
+		if !bitperm.IsPow4(pl.S) {
+			return pl, fmt.Errorf("core: subblock columnsort needs s to be a power of 4, got s=%d", pl.S)
+		}
+		if !bounds.HeightOK(bounds.Subblock, int64(pl.R), int64(pl.S)) {
+			q := bitperm.Sqrt(pl.S)
+			return pl, fmt.Errorf("core: relaxed height restriction violated: r=%d < 4s^(3/2)=%d (%w)",
+				pl.R, 4*pl.S*q, ErrTooLarge)
+		}
+	case BaselineIO3, BaselineIO4:
+		// No height restriction: baselines just stream the data.
+	}
+
+	switch pl.Layout {
+	case pdm.ColumnOwned:
+		if pl.S%p != 0 {
+			return pl, fmt.Errorf("core: P=%d must divide s=%d for the column-owned layout", p, pl.S)
+		}
+	case pdm.RowBlocked:
+		if p < 2 {
+			return pl, fmt.Errorf("core: %v needs P ≥ 2 (with P = 1 it degenerates to threaded columnsort)", alg)
+		}
+		rb := pl.R / p
+		if rb%pl.S != 0 {
+			return pl, fmt.Errorf("core: s=%d must divide r/P=%d for the row-blocked layout", pl.S, rb)
+		}
+		if rb%2 != 0 {
+			return pl, fmt.Errorf("core: r/P=%d must be even for boundary merges", rb)
+		}
+		// The distributed in-core sort is itself a columnsort on an
+		// (M/P)×P matrix.
+		if pl.S > 1 && !bounds.InCoreOK(int64(memPerProc), int64(p)) {
+			return pl, fmt.Errorf("core: in-core height restriction violated: M/P=%d < 2P²=%d", memPerProc, 2*p*p)
+		}
+	}
+	return pl, nil
+}
+
+// Rounds returns the number of pipeline rounds per pass: s/P rounds of P
+// columns for the column-owned algorithms, s single-column rounds for the
+// row-blocked ones, and s/(P/g) group rounds for the hybrid.
+func (pl Plan) Rounds() int {
+	switch pl.Layout {
+	case pdm.ColumnOwned:
+		return pl.S / pl.P
+	case pdm.GroupBlocked:
+		return pl.S / (pl.P / pl.Group)
+	}
+	return pl.S
+}
+
+// NewStore allocates an empty store shaped for the plan.
+func (pl Plan) NewStore(m pdm.Machine) (*pdm.Store, error) {
+	if pl.Layout == pdm.GroupBlocked {
+		return m.NewGroupStore(pl.R, pl.S, pl.Z, pl.Group)
+	}
+	return m.NewStore(pl.R, pl.S, pl.Z, pl.Layout)
+}
+
+// NewInput allocates and fills the input store for the plan on the given
+// machine.
+func (pl Plan) NewInput(m pdm.Machine, g record.Generator) (*pdm.Store, error) {
+	st, err := pl.NewStore(m)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.Fill(g); err != nil {
+		st.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+func (pl Plan) String() string {
+	return fmt.Sprintf("%v: N=%d as %d×%d, Z=%dB, P=%d, D=%d, %v, %d passes × %d rounds",
+		pl.Alg, pl.N, pl.R, pl.S, pl.Z, pl.P, pl.D, pl.Layout, pl.Alg.Passes(), pl.Rounds())
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+
+	"colsort/internal/bitperm"
+	"colsort/internal/cluster"
+	"colsort/internal/matrix"
+	"colsort/internal/pdm"
+	"colsort/internal/pipeline"
+	"colsort/internal/record"
+	"colsort/internal/sim"
+)
+
+// Result reports a completed out-of-core sort: the output store (owned by
+// the caller) and the exact operation counts of every pass.
+type Result struct {
+	Plan   Plan
+	Output *pdm.Store
+	// PassCounters[k][p] holds the operations of processor p in pass k.
+	PassCounters [][]sim.Counters
+}
+
+// Estimate applies a cost model to the measured counters (experiment E1).
+func (res *Result) Estimate(cm sim.CostModel) sim.RunEstimate {
+	return cm.EstimateRun(res.PassCounters, res.Plan.D/res.Plan.P)
+}
+
+// TotalCounters sums all passes and processors.
+func (res *Result) TotalCounters() sim.Counters {
+	var tot sim.Counters
+	for _, pass := range res.PassCounters {
+		for _, c := range pass {
+			tot.Add(c)
+		}
+	}
+	return tot
+}
+
+// passFunc executes one pass on one processor.
+type passFunc func(pr *cluster.Proc, in, out *pdm.Store, cnt *sim.Counters) error
+
+// Run executes the planned algorithm on the machine, consuming columns of
+// input and returning a Result whose Output store holds the sorted data.
+// The input store is left intact (the paper likewise preserves inputs to
+// verify outputs); intermediate stores are closed as they are consumed.
+func Run(pl Plan, m pdm.Machine, input *pdm.Store) (*Result, error) {
+	if input.R != pl.R || input.S != pl.S || input.RecSize != pl.Z ||
+		input.P != pl.P || input.Layout != pl.Layout ||
+		(pl.Layout == pdm.GroupBlocked && input.G != pl.Group) {
+		return nil, fmt.Errorf("core: input store %d×%d z=%d P=%d %v does not match plan %s",
+			input.R, input.S, input.RecSize, input.P, input.Layout, pl)
+	}
+	if m.P != pl.P || m.D != pl.D {
+		return nil, fmt.Errorf("core: machine P=%d D=%d does not match plan P=%d D=%d", m.P, m.D, pl.P, pl.D)
+	}
+	passes, err := passList(pl)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Plan: pl}
+	cur := input
+	for k, pass := range passes {
+		out, err := pl.NewStore(m)
+		if err != nil {
+			return nil, err
+		}
+		cnts := make([]sim.Counters, pl.P)
+		err = cluster.Run(pl.P, func(pr *cluster.Proc) error {
+			return pass(pr, cur, out, &cnts[pr.Rank()])
+		})
+		if cur != input {
+			cur.Close()
+		}
+		if err != nil {
+			out.Close()
+			return nil, fmt.Errorf("core: pass %d of %v: %w", k+1, pl.Alg, err)
+		}
+		res.PassCounters = append(res.PassCounters, cnts)
+		cur = out
+	}
+	res.Output = cur
+	return res, nil
+}
+
+// passList builds the pass sequence realizing the planned algorithm.
+func passList(pl Plan) ([]passFunc, error) {
+	r, s := pl.R, pl.S
+
+	// Degenerate single-column problems: each "pass" reduces to read,
+	// sort, write; run the same number of passes so baselines and I/O
+	// accounting stay comparable.
+	if s == 1 && pl.Layout == pdm.ColumnOwned && pl.Alg != BaselineIO3 && pl.Alg != BaselineIO4 {
+		n := pl.Alg.Passes()
+		passes := make([]passFunc, n)
+		for k := range passes {
+			passes[k] = func(pr *cluster.Proc, in, out *pdm.Store, cnt *sim.Counters) error {
+				return runSortPass(pr, pl, in, out, cnt)
+			}
+		}
+		return passes, nil
+	}
+
+	step2 := func(i, j int) int { return matrix.Step2ColOf(r, s, i) }
+	step4 := func(i, j int) int { return matrix.Step4ColOf(r, s, i) }
+	identity := func(i, j int) int { return j }
+
+	scatter := func(spec scatterSpec) passFunc {
+		return func(pr *cluster.Proc, in, out *pdm.Store, cnt *sim.Counters) error {
+			return runScatterPass(pr, pl, spec, in, out, 0, cnt)
+		}
+	}
+	merge := func(runLen int) passFunc {
+		return func(pr *cluster.Proc, in, out *pdm.Store, cnt *sim.Counters) error {
+			return runMergePass(pr, pl, runLen, in, out, 0, cnt)
+		}
+	}
+	baseline := func(pr *cluster.Proc, in, out *pdm.Store, cnt *sim.Counters) error {
+		return runBaselinePass(pr, pl, in, out, cnt)
+	}
+
+	switch pl.Alg {
+	case Threaded:
+		return []passFunc{
+			scatter(scatterSpec{name: "steps 1-2", runLen: 0, destCol: step2}),
+			scatter(scatterSpec{name: "steps 3-4", runLen: r / s, destCol: step4}),
+			merge(r / s),
+		}, nil
+
+	case Threaded4:
+		// Faithful in I/O volume to [CCW01]'s 4 passes; steps regroup as
+		// [1,2], [3,4], [5], [6–8] (see DESIGN.md).
+		return []passFunc{
+			scatter(scatterSpec{name: "steps 1-2", runLen: 0, destCol: step2}),
+			scatter(scatterSpec{name: "steps 3-4", runLen: r / s, destCol: step4}),
+			scatter(scatterSpec{name: "step 5", runLen: r / s, destCol: identity,
+				targetProcs: func(j int) []int { return []int{j % pl.P} }}),
+			merge(r),
+		}, nil
+
+	case Subblock:
+		sb := bitperm.MustSubblock(r, s)
+		q := sb.SqrtS()
+		subblockDest := func(i, j int) int { return sb.TargetColumn(i, j) }
+		var targets func(j int) []int
+		targets = func(j int) []int {
+			procs := sb.TargetProcs(j, pl.P)
+			list := make([]int, 0, len(procs))
+			for d := 0; d < pl.P; d++ {
+				if procs[d] {
+					list = append(list, d)
+				}
+			}
+			return list
+		}
+		return []passFunc{
+			scatter(scatterSpec{name: "steps 1-2", runLen: 0, destCol: step2}),
+			scatter(scatterSpec{name: "subblock pass (3, 3.1)", runLen: r / s,
+				destCol: subblockDest, targetProcs: targets}),
+			scatter(scatterSpec{name: "steps 3.2-4", runLen: r / q, destCol: step4}),
+			merge(r / s),
+		}, nil
+
+	case MColumn:
+		mScatter := func(spec mcolSpec) passFunc {
+			return func(pr *cluster.Proc, in, out *pdm.Store, cnt *sim.Counters) error {
+				return runMColScatterPass(pr, pl, spec, in, out, 0, cnt)
+			}
+		}
+		return []passFunc{
+			mScatter(mcolSpec{name: "m-steps 1-2", chunk: r / s,
+				destCol: func(rank int64, j int) int { return int(rank % int64(s)) }}),
+			mScatter(mcolSpec{name: "m-steps 3-4", chunk: r / s, redistribute: true,
+				destCol: func(rank int64, j int) int { return int(rank / (int64(r) / int64(s))) }}),
+			func(pr *cluster.Proc, in, out *pdm.Store, cnt *sim.Counters) error {
+				return runMColMergePass(pr, pl, in, out, 0, cnt)
+			},
+		}, nil
+
+	case Combined:
+		sb := bitperm.MustSubblock(r, s)
+		q := sb.SqrtS()
+		mScatter := func(spec mcolSpec) passFunc {
+			return func(pr *cluster.Proc, in, out *pdm.Store, cnt *sim.Counters) error {
+				return runMColScatterPass(pr, pl, spec, in, out, 0, cnt)
+			}
+		}
+		return []passFunc{
+			mScatter(mcolSpec{name: "c-steps 1-2", chunk: r / s,
+				destCol: func(rank int64, j int) int { return int(rank % int64(s)) }}),
+			mScatter(mcolSpec{name: "c-subblock (3, 3.1)", chunk: r / q,
+				destCol: func(rank int64, j int) int {
+					return j%q + int(rank%int64(q))*q
+				}}),
+			mScatter(mcolSpec{name: "c-steps 3.2-4", chunk: r / s, redistribute: true,
+				destCol: func(rank int64, j int) int { return int(rank / (int64(r) / int64(s))) }}),
+			func(pr *cluster.Proc, in, out *pdm.Store, cnt *sim.Counters) error {
+				return runMColMergePass(pr, pl, in, out, 0, cnt)
+			},
+		}, nil
+
+	case Hybrid:
+		c := int64(r / s)
+		hScatter := func(spec hybridSpec) passFunc {
+			return func(pr *cluster.Proc, in, out *pdm.Store, cnt *sim.Counters) error {
+				return runHybridScatterPass(pr, pl, spec, in, out, 0, cnt)
+			}
+		}
+		return []passFunc{
+			hScatter(hybridSpec{name: "h-steps 1-2",
+				destCol: func(gi int64) int { return int(gi % int64(s)) },
+				occ:     func(gi int64) int64 { return gi / int64(s) }}),
+			hScatter(hybridSpec{name: "h-steps 3-4",
+				destCol: func(gi int64) int { return int(gi / c) },
+				occ:     func(gi int64) int64 { return gi % c }}),
+			func(pr *cluster.Proc, in, out *pdm.Store, cnt *sim.Counters) error {
+				return runHybridMergePass(pr, pl, in, out, 0, cnt)
+			},
+		}, nil
+
+	case BaselineIO3:
+		return []passFunc{baseline, baseline, baseline}, nil
+	case BaselineIO4:
+		return []passFunc{baseline, baseline, baseline, baseline}, nil
+	}
+	return nil, fmt.Errorf("core: unknown algorithm %v", pl.Alg)
+}
+
+// runBaselinePass reads every owned column and writes it back out — the
+// pure-I/O program whose 3- and 4-pass times form the floor lines of
+// Figure 2. It works on both layouts.
+func runBaselinePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, cnt *sim.Counters) error {
+	p := pr.Rank()
+	var cRead, cWrite sim.Counters
+
+	type round struct {
+		cols []int // columns touched this round (one for column-owned)
+		bufs []record.Slice
+		rows []int
+	}
+
+	read := func(rd round) (round, error) {
+		for _, col := range rd.cols {
+			lo, hi := in.OwnedRows(p, col)
+			buf := record.Make(hi-lo, pl.Z)
+			if err := in.ReadRows(&cRead, p, col, lo, buf); err != nil {
+				return rd, err
+			}
+			rd.bufs = append(rd.bufs, buf)
+			rd.rows = append(rd.rows, lo)
+		}
+		cRead.Rounds++
+		return rd, nil
+	}
+	write := func(rd round) error {
+		for k, col := range rd.cols {
+			if err := out.WriteRows(&cWrite, p, col, rd.rows[k], rd.bufs[k]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	src := func(emit func(round) error) error {
+		if pl.Layout == pdm.ColumnOwned {
+			for t := 0; t < pl.S/pl.P; t++ {
+				if err := emit(round{cols: []int{t*pl.P + p}}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for j := 0; j < pl.S; j++ {
+			if err := emit(round{cols: []int{j}}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	err := pipeline.Run(pipeDepth, src, write, read)
+	cnt.Add(cRead)
+	cnt.Add(cWrite)
+	if err != nil {
+		return fmt.Errorf("core: baseline pass: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+
+	"colsort/internal/cluster"
+	"colsort/internal/pdm"
+	"colsort/internal/pipeline"
+	"colsort/internal/record"
+	"colsort/internal/sim"
+	"colsort/internal/sortalg"
+)
+
+// scatterSpec describes one distribution pass on the column-owned layout:
+// sort each column, then permute records to target columns (columnsort
+// steps 2, 4, or 3.1).
+type scatterSpec struct {
+	name string
+
+	// runLen is the length of the sorted runs the input columns consist of
+	// (0 means unsorted: sort from scratch). Arrival-order writes make all
+	// runs contiguous.
+	runLen int
+
+	// destCol maps sorted row i of source column j to its target column.
+	destCol func(i, j int) int
+
+	// targetProcs returns the processors that source column j sends to,
+	// or nil to use a full all-to-all (every processor sends P messages,
+	// as in passes 1 and 2 of threaded columnsort). The subblock pass
+	// supplies the ⌈P/√s⌉-element target set of Section 3.
+	targetProcs func(j int) []int
+}
+
+// scatterRound is the unit flowing through a scatter pass's pipeline.
+type scatterRound struct {
+	t   int // round index
+	col int // source column processed by this processor
+
+	buf    record.Slice   // read → sorted column
+	inMsgs []record.Slice // per source processor, after communicate
+
+	// writes holds, per owned target column, the records that arrived
+	// this round, in arrival order.
+	writes map[int]record.Slice
+}
+
+// pipeDepth is the channel capacity between pipeline stages; 2 keeps a few
+// rounds in flight (enough to overlap I/O, sort and communication) while
+// bounding buffer memory, like the paper's fixed buffer pools.
+const pipeDepth = 2
+
+// sortColumn realizes a pass's sort stage: a full sort when the input run
+// structure is unknown (runLen ≤ 0), a pure copy when the column is already
+// one sorted run (runLen ≥ len), and a k-way merge otherwise, charging the
+// appropriate comparison work.
+func sortColumn(dst, src record.Slice, runLen int, cnt *sim.Counters) {
+	r := src.Len()
+	switch {
+	case runLen <= 0 || runLen > r:
+		sortalg.SortInto(dst, src)
+		cnt.CompareUnits += sim.SortWork(r)
+	case runLen == r:
+		dst.Copy(src)
+	default:
+		k := r / runLen
+		sortalg.MergeRunsInto(dst, src, sortalg.ContiguousRuns(r, k))
+		cnt.CompareUnits += sim.MergeWork(r, k)
+	}
+	cnt.MovedBytes += int64(len(dst.Data))
+}
+
+// runScatterPass executes one scatter pass on processor pr, reading columns
+// of in and appending arrival-order chunks to out. It merges per-stage
+// counters into cnt when the pass completes.
+func runScatterPass(pr *cluster.Proc, pl Plan, spec scatterSpec, in, out *pdm.Store, tagBase int, cnt *sim.Counters) error {
+	p := pr.Rank()
+	P := pl.P
+	r, s, z := pl.R, pl.S, pl.Z
+	rounds := pl.Rounds()
+
+	var cRead, cSort, cComm, cPerm, cWrite sim.Counters
+	nextFree := make(map[int]int) // owned target column → next arrival row
+
+	read := func(rd scatterRound) (scatterRound, error) {
+		rd.buf = record.Make(r, z)
+		if err := in.ReadColumn(&cRead, p, rd.col, rd.buf); err != nil {
+			return rd, err
+		}
+		cRead.Rounds++
+		return rd, nil
+	}
+
+	sortStage := func(rd scatterRound) (scatterRound, error) {
+		sorted := record.Make(r, z)
+		sortColumn(sorted, rd.buf, spec.runLen, &cSort)
+		rd.buf = sorted
+		return rd, nil
+	}
+
+	communicate := func(rd scatterRound) (scatterRound, error) {
+		// Pack one outgoing buffer per destination processor, scanning the
+		// sorted column in order so every (source, destination) chunk is a
+		// sorted run.
+		counts := make([]int, P)
+		for i := 0; i < r; i++ {
+			counts[spec.destCol(i, rd.col)%P]++
+		}
+		out := make([]record.Slice, P)
+		fill := make([]int, P)
+		for d := 0; d < P; d++ {
+			out[d] = record.Make(counts[d], z)
+		}
+		for i := 0; i < r; i++ {
+			d := spec.destCol(i, rd.col) % P
+			out[d].CopyRecord(fill[d], rd.buf, i)
+			fill[d]++
+		}
+		cComm.MovedBytes += int64(r * z)
+		rd.buf = record.Slice{}
+
+		tag := tagBase + rd.t
+		if spec.targetProcs == nil {
+			in, err := pr.AllToAll(&cComm, tag, out)
+			if err != nil {
+				return rd, err
+			}
+			rd.inMsgs = in
+			return rd, nil
+		}
+		// Targeted sends: only the computed target set gets a message
+		// (property 1 of Section 3); receive from exactly the sources
+		// whose target set includes this processor.
+		for _, d := range spec.targetProcs(rd.col) {
+			if out[d].Len() == 0 {
+				return rd, fmt.Errorf("core: %s: empty message for computed target %d", spec.name, d)
+			}
+			if err := pr.Send(&cComm, d, tag, out[d]); err != nil {
+				return rd, err
+			}
+		}
+		rd.inMsgs = make([]record.Slice, P)
+		for q := 0; q < P; q++ {
+			srcCol := rd.t*P + q
+			for _, d := range spec.targetProcs(srcCol) {
+				if d == p {
+					msg, err := pr.Recv(q, tag)
+					if err != nil {
+						return rd, err
+					}
+					rd.inMsgs[q] = msg
+				}
+			}
+		}
+		return rd, nil
+	}
+
+	permute := func(rd scatterRound) (scatterRound, error) {
+		// Receiver-side replay of the oblivious pattern: scan each source
+		// column of this round in sorted order; records destined to one of
+		// this processor's columns arrive in exactly that order.
+		rd.writes = make(map[int]record.Slice)
+		counts := make(map[int]int)
+		for q := 0; q < P; q++ {
+			if rd.inMsgs[q].Data == nil {
+				continue
+			}
+			srcCol := rd.t*P + q
+			for i := 0; i < r; i++ {
+				tj := spec.destCol(i, srcCol)
+				if tj%P == p {
+					counts[tj]++
+				}
+			}
+		}
+		fills := make(map[int]int)
+		for tj, n := range counts {
+			rd.writes[tj] = record.Make(n, z)
+			fills[tj] = 0
+		}
+		for q := 0; q < P; q++ {
+			msg := rd.inMsgs[q]
+			if msg.Data == nil {
+				continue
+			}
+			srcCol := rd.t*P + q
+			next := 0
+			for i := 0; i < r; i++ {
+				tj := spec.destCol(i, srcCol)
+				if tj%P != p {
+					continue
+				}
+				if next >= msg.Len() {
+					return rd, fmt.Errorf("core: %s: message from %d shorter than pattern", spec.name, q)
+				}
+				rd.writes[tj].CopyRecord(fills[tj], msg, next)
+				fills[tj]++
+				next++
+			}
+			if next != msg.Len() {
+				return rd, fmt.Errorf("core: %s: message from %d has %d records, pattern used %d", spec.name, q, msg.Len(), next)
+			}
+			cPerm.MovedBytes += int64(msg.Len() * z)
+		}
+		rd.inMsgs = nil
+		return rd, nil
+	}
+
+	write := func(rd scatterRound) error {
+		// Deterministic order over owned columns keeps the on-disk arrival
+		// order reproducible.
+		for tj := p; tj < s; tj += P {
+			chunk, ok := rd.writes[tj]
+			if !ok {
+				continue
+			}
+			if err := out.WriteRows(&cWrite, p, tj, nextFree[tj], chunk); err != nil {
+				return err
+			}
+			nextFree[tj] += chunk.Len()
+		}
+		return nil
+	}
+
+	src := func(emit func(scatterRound) error) error {
+		for t := 0; t < rounds; t++ {
+			if err := emit(scatterRound{t: t, col: t*P + p}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	err := pipeline.Run(pipeDepth, src, write, read, sortStage, communicate, permute)
+	for _, c := range []sim.Counters{cRead, cSort, cComm, cPerm, cWrite} {
+		cnt.Add(c)
+	}
+	if err != nil {
+		return fmt.Errorf("core: %s pass: %w", spec.name, err)
+	}
+	// Every owned column must have been filled exactly.
+	for tj := p; tj < s; tj += P {
+		if nextFree[tj] != r {
+			return fmt.Errorf("core: %s pass: column %d received %d of %d records", spec.name, tj, nextFree[tj], r)
+		}
+	}
+	return nil
+}

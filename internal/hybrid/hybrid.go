@@ -1,0 +1,160 @@
+// Package hybrid analyzes the group-columnsort family the paper sketches as
+// future work (Section 6): "an implementation that allows for values of r
+// between M/P and M, depending on the problem size N for a given run."
+//
+// Group columnsort with group size g (a power of two dividing P) partitions
+// the P processors into P/g groups of g; each out-of-core column holds
+// r = g·(M/P) records owned collectively by one group and is sorted by a
+// distributed in-core sort within the group. The endpoints recover the
+// paper's implemented algorithms:
+//
+//	g = 1:  threaded columnsort  (r = M/P, local sort stage)
+//	g = P:  M-columnsort         (r = M, cluster-wide sort stage)
+//
+// The paper's observation is a bound/communication trade-off: the bound
+// N ≤ (g·M/P)^{3/2}/√2 grows with g, while the sort-stage communication
+// shrinks as g shrinks ("the closer the height interpretation is to
+// r = M/P, the less communication overhead is incurred during the sort
+// stages"). This package quantifies both sides and picks the cheapest g
+// whose bound admits a given N. The endpoint volumes are pinned to the
+// validated counter predictions of internal/figure2 by tests.
+package hybrid
+
+import (
+	"fmt"
+	"math"
+
+	"colsort/internal/bitperm"
+	"colsort/internal/sim"
+)
+
+// Config fixes the machine for the analysis.
+type Config struct {
+	P   int // processors, power of two
+	Mem int // M/P, records of column memory per processor
+	Z   int // record size in bytes
+}
+
+// Point is the analysis of one group size.
+type Point struct {
+	G int   // group size
+	R int64 // column height r = G·Mem
+
+	// MaxN is the real-valued problem-size bound N ≤ r^{3/2}/√2·(s-side
+	// power-of-two effects ignored, as in the paper's bounds).
+	MaxN float64
+
+	// SortNetBytesPerPass is the network traffic, in bytes per processor
+	// per pass, attributable to the sort stage (the distributed in-core
+	// columnsort within each group): two all-to-alls plus the boundary
+	// exchange, all confined to the group.
+	SortNetBytesPerPass int64
+
+	// ScatterNetBytesPerPass is the communicate/redistribution traffic per
+	// processor per pass for the worst distribution pass (all-to-all over
+	// the whole cluster less the self share).
+	ScatterNetBytesPerPass int64
+
+	// TotalNetBytesPerPass = sort + scatter.
+	TotalNetBytesPerPass int64
+}
+
+// Validate checks the machine parameters.
+func (c Config) Validate() error {
+	if !bitperm.IsPow2(c.P) || c.P < 1 {
+		return fmt.Errorf("hybrid: P=%d must be a positive power of 2", c.P)
+	}
+	if !bitperm.IsPow2(c.Mem) {
+		return fmt.Errorf("hybrid: M/P=%d must be a power of 2", c.Mem)
+	}
+	if c.Z < 8 {
+		return fmt.Errorf("hybrid: record size %d too small", c.Z)
+	}
+	return nil
+}
+
+// Analyze computes the trade-off point for one group size. Traffic is
+// normalized per processor per pass, for a pass that processes the whole
+// data set once (the paper's unit of comparison); it scales linearly in
+// the data per processor, so the shape is independent of N.
+func (c Config) Analyze(g int) (Point, error) {
+	if err := c.Validate(); err != nil {
+		return Point{}, err
+	}
+	if !bitperm.IsPow2(g) || g < 1 || g > c.P || c.P%g != 0 {
+		return Point{}, fmt.Errorf("hybrid: group size %d must be a power of 2 dividing P=%d", g, c.P)
+	}
+	r := int64(g) * int64(c.Mem)
+	pt := Point{G: g, R: r, MaxN: math.Pow(float64(r), 1.5) / math.Sqrt2}
+
+	// Per processor, one pass touches Mem records per round-equivalent;
+	// normalize to exactly dataPerProc = Mem·Z bytes of payload handled
+	// per pass per processor (one column's worth per group round).
+	blockBytes := int64(c.Mem) * int64(c.Z)
+
+	// Sort stage (within the group of g): in-core columnsort does two
+	// all-to-alls of the local block (off-group-self fraction (g−1)/g
+	// each) plus the boundary half-exchange (≈ one block among interior
+	// members): ≈ (2·(g−1)/g + (g−1)/g)·blockBytes — zero when g = 1
+	// (local sort only).
+	if g > 1 {
+		pt.SortNetBytesPerPass = 3 * blockBytes * int64(g-1) / int64(g)
+	}
+
+	// Scatter stage: records leave for target columns owned by any of the
+	// P/g groups; a 1/(P/g) share stays within the group, and of the
+	// in-group share only 1/g stays on-processor. Net fraction leaving
+	// the processor is (1 − 1/P) for g = 1 and, in the aggregate
+	// arrival-share model, 1 − g/P·(1/g) = 1 − 1/P generally; however the
+	// group-internal share rides the sort stage's final exchange for
+	// g = P (M-columnsort eliminates the communicate stage), so the
+	// scatter charge is the across-group fraction only: 1 − g/P.
+	pt.ScatterNetBytesPerPass = blockBytes * int64(c.P-g) / int64(c.P)
+	if g == 1 {
+		// Threaded columnsort's all-to-all: everything except the
+		// self-message crosses the network.
+		pt.ScatterNetBytesPerPass = blockBytes * int64(c.P-1) / int64(c.P)
+	}
+
+	pt.TotalNetBytesPerPass = pt.SortNetBytesPerPass + pt.ScatterNetBytesPerPass
+	return pt, nil
+}
+
+// Sweep analyzes every legal group size.
+func (c Config) Sweep() ([]Point, error) {
+	var pts []Point
+	for g := 1; g <= c.P; g *= 2 {
+		pt, err := c.Analyze(g)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
+// ChooseGroup returns the smallest group size whose bound admits n records
+// — the paper's intended policy: use the least communication that still
+// fits the problem. It returns an error if even g = P cannot sort n.
+func (c Config) ChooseGroup(n int64) (int, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	for g := 1; g <= c.P; g *= 2 {
+		pt, err := c.Analyze(g)
+		if err != nil {
+			return 0, err
+		}
+		if float64(n) <= pt.MaxN {
+			return g, nil
+		}
+	}
+	return 0, fmt.Errorf("hybrid: N=%d exceeds even M-columnsort's bound %.3g on this machine", n,
+		math.Pow(float64(int64(c.P)*int64(c.Mem)), 1.5)/math.Sqrt2)
+}
+
+// EstimateSortSeconds prices the per-pass network traffic of a point under
+// a cost model, for reporting.
+func (pt Point) EstimateSortSeconds(cm sim.CostModel) float64 {
+	return float64(pt.TotalNetBytesPerPass) / cm.NetBandwidth
+}

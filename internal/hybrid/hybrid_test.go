@@ -1,0 +1,148 @@
+package hybrid
+
+import (
+	"math"
+	"testing"
+
+	"colsort/internal/bounds"
+)
+
+func cfg() Config { return Config{P: 16, Mem: 1 << 19, Z: 64} }
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{P: 3, Mem: 1 << 10, Z: 64},
+		{P: 4, Mem: 1000, Z: 64},
+		{P: 4, Mem: 1 << 10, Z: 4},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+	if err := cfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeRejectsBadGroup(t *testing.T) {
+	for _, g := range []int{0, 3, 32, -1} {
+		if _, err := cfg().Analyze(g); err == nil {
+			t.Errorf("group size %d accepted", g)
+		}
+	}
+}
+
+func TestEndpointsMatchPaperAlgorithms(t *testing.T) {
+	c := cfg()
+	// g = 1 reproduces restriction (1); g = P reproduces restriction (3).
+	p1, err := c.Analyze(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pP, err := c.Analyze(c.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := int64(c.P) * int64(c.Mem)
+	if want := bounds.MaxN(bounds.Threaded, m, int64(c.P)); math.Abs(p1.MaxN/want-1) > 1e-12 {
+		t.Fatalf("g=1 bound %g, want restriction (1) %g", p1.MaxN, want)
+	}
+	if want := bounds.MaxN(bounds.MColumnsort, m, int64(c.P)); math.Abs(pP.MaxN/want-1) > 1e-12 {
+		t.Fatalf("g=P bound %g, want restriction (3) %g", pP.MaxN, want)
+	}
+	// g = 1 has no sort-stage communication (local sort).
+	if p1.SortNetBytesPerPass != 0 {
+		t.Fatal("g=1 should have a purely local sort stage")
+	}
+	// g = P has no scatter-stage communication (M-columnsort eliminates
+	// the communicate stage).
+	if pP.ScatterNetBytesPerPass != 0 {
+		t.Fatal("g=P should have no separate communicate stage")
+	}
+}
+
+func TestTradeOffMonotone(t *testing.T) {
+	pts, err := cfg().Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 { // g ∈ {1, 2, 4, 8, 16}
+		t.Fatalf("sweep returned %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].MaxN <= pts[i-1].MaxN {
+			t.Fatalf("bound not increasing: g=%d %g vs g=%d %g",
+				pts[i-1].G, pts[i-1].MaxN, pts[i].G, pts[i].MaxN)
+		}
+		if pts[i].SortNetBytesPerPass < pts[i-1].SortNetBytesPerPass {
+			t.Fatalf("sort traffic not nondecreasing at g=%d", pts[i].G)
+		}
+		if pts[i].ScatterNetBytesPerPass > pts[i-1].ScatterNetBytesPerPass {
+			t.Fatalf("scatter traffic not nonincreasing at g=%d", pts[i].G)
+		}
+	}
+	// The paper's claim: total sort-stage overhead grows toward g = P.
+	if pts[len(pts)-1].TotalNetBytesPerPass <= pts[0].TotalNetBytesPerPass {
+		t.Fatal("total traffic at g=P should exceed g=1")
+	}
+}
+
+func TestBoundScalesAs32PowerOfG(t *testing.T) {
+	c := cfg()
+	p1, _ := c.Analyze(1)
+	p4, _ := c.Analyze(4)
+	if ratio := p4.MaxN / p1.MaxN; math.Abs(ratio-8) > 1e-9 { // 4^{3/2} = 8
+		t.Fatalf("bound ratio g=4/g=1 = %g, want 8", ratio)
+	}
+}
+
+func TestChooseGroup(t *testing.T) {
+	c := cfg()
+	// Small problems take g = 1; each 4^{3/2} step forces the next g.
+	p1, _ := c.Analyze(1)
+	g, err := c.ChooseGroup(int64(p1.MaxN) - 1)
+	if err != nil || g != 1 {
+		t.Fatalf("ChooseGroup(small) = %d, %v", g, err)
+	}
+	g, err = c.ChooseGroup(int64(p1.MaxN) * 2)
+	if err != nil || g != 2 {
+		t.Fatalf("ChooseGroup(2×bound1) = %d, %v; want 2", g, err)
+	}
+	pP, _ := c.Analyze(c.P)
+	g, err = c.ChooseGroup(int64(pP.MaxN))
+	if err != nil || g != c.P {
+		t.Fatalf("ChooseGroup(max) = %d, %v; want P", g, err)
+	}
+	if _, err := c.ChooseGroup(int64(pP.MaxN) * 2); err == nil {
+		t.Fatal("ChooseGroup accepted N beyond the g=P bound")
+	}
+}
+
+func TestChooseGroupPrefersSmallestEligible(t *testing.T) {
+	// The policy is the paper's heuristic: the smallest eligible g, which
+	// by sort-traffic monotonicity minimizes sort-stage communication.
+	// (Interestingly, the TOTAL traffic is not monotone: at g = P the
+	// eliminated communicate stage can undercut intermediate g — the kind
+	// of effect the paper's future-work implementation would measure.)
+	c := Config{P: 8, Mem: 1 << 12, Z: 64}
+	pts, _ := c.Sweep()
+	for _, pt := range pts {
+		n := int64(pt.MaxN * 0.9)
+		g, err := c.ChooseGroup(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chosen, _ := c.Analyze(g)
+		for _, other := range pts {
+			if float64(n) <= other.MaxN {
+				if other.G < g {
+					t.Fatalf("N=%d: chose g=%d but smaller g=%d is eligible", n, g, other.G)
+				}
+				if other.SortNetBytesPerPass < chosen.SortNetBytesPerPass {
+					t.Fatalf("N=%d: g=%d has more sort traffic than eligible g=%d", n, g, other.G)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package incore implements the distributed-memory in-core sorts of
+// Section 4 of the paper. M-columnsort's sort stage must sort one
+// out-of-core column of r = M records held collectively by all P
+// processors (M/P records each); the paper implemented three candidates —
+// in-core columnsort, bitonic sort, and radix sort — and chose in-core
+// columnsort on an (M/P)×P matrix.
+//
+// All three sorters share the same contract: every processor enters with n
+// local records (the same n everywhere) and leaves with the n records of
+// global rank [q·n, (q+1)·n) in sorted order, i.e. the distributed array is
+// sorted with a block distribution. All communication is tagged within a
+// caller-supplied tag window so that concurrent pipeline rounds never
+// collide.
+package incore
+
+import (
+	"fmt"
+
+	"colsort/internal/cluster"
+	"colsort/internal/record"
+	"colsort/internal/sim"
+	"colsort/internal/sortalg"
+)
+
+// TagSpan is the width of the tag window a single Sort invocation may use.
+// Callers hand successive invocations tag bases at least TagSpan apart.
+const TagSpan = 256
+
+// Comm is the communicator surface the distributed in-core sorts need.
+// *cluster.Proc satisfies it directly; *cluster.Group satisfies it for a
+// subset of processors, which is how hybrid group columnsort runs an
+// in-core sort inside each group.
+type Comm interface {
+	Rank() int
+	NProcs() int
+	Send(cnt *sim.Counters, dst, tag int, recs record.Slice) error
+	Recv(src, tag int) (record.Slice, error)
+	AllToAll(cnt *sim.Counters, tag int, out []record.Slice) ([]record.Slice, error)
+	Gather(cnt *sim.Counters, root, tag int, recs record.Slice) ([]record.Slice, error)
+	Broadcast(cnt *sim.Counters, root, tag int, recs record.Slice) (record.Slice, error)
+}
+
+var _ Comm = (*cluster.Proc)(nil)
+
+// Sorter is a distributed in-core sort.
+type Sorter interface {
+	// Name identifies the algorithm in reports and benchmarks.
+	Name() string
+	// Sort sorts the distributed array. It consumes local (ownership may
+	// move into messages) and returns the processor's sorted block.
+	Sort(pr Comm, cnt *sim.Counters, tagBase int, local record.Slice) (record.Slice, error)
+}
+
+// Columnsort is the paper's choice: in-core columnsort on an (M/P)×P
+// matrix, where in-core column q is processor q's local block. It requires
+// P | n and the height restriction n ≥ 2P² (checked at run time), and
+// sends ~2.5 column volumes over the network per sort — the least of the
+// three algorithms.
+type Columnsort struct{}
+
+func (Columnsort) Name() string { return "incore-columnsort" }
+
+// CheckShape reports whether n local records on p processors satisfy
+// in-core columnsort's requirements.
+func (Columnsort) CheckShape(n, p int) error {
+	if p > 1 && n < 2*p*p {
+		return fmt.Errorf("incore: height restriction n=%d < 2P²=%d", n, 2*p*p)
+	}
+	if p > 0 && n%p != 0 {
+		return fmt.Errorf("incore: P=%d must divide local length n=%d", p, n)
+	}
+	return nil
+}
+
+func (cs Columnsort) Sort(pr Comm, cnt *sim.Counters, tagBase int, local record.Slice) (record.Slice, error) {
+	p := pr.NProcs()
+	n := local.Len()
+	if p == 1 {
+		out := record.Make(n, local.Size)
+		sortalg.SortInto(out, local)
+		cnt.CompareUnits += sim.SortWork(n)
+		cnt.MovedBytes += int64(len(out.Data))
+		return out, nil
+	}
+	if err := cs.CheckShape(n, p); err != nil {
+		return record.Slice{}, err
+	}
+	z := local.Size
+	chunk := n / p
+
+	// Step 1: local sort.
+	cur := record.Make(n, z)
+	sortalg.SortInto(cur, local)
+	cnt.CompareUnits += sim.SortWork(n)
+	cnt.MovedBytes += int64(len(cur.Data))
+
+	// Step 2: transpose & reshape. Local position i of in-core column q
+	// goes to column (i mod P) at local position q·(n/P) + ⌊i/P⌋. Send the
+	// records with i ≡ d (mod P) to processor d, in increasing i order;
+	// the batch from source q lands contiguously at [q·n/P, (q+1)·n/P).
+	out := make([]record.Slice, p)
+	for d := 0; d < p; d++ {
+		buf := record.Make(chunk, z)
+		for k := 0; k < chunk; k++ {
+			buf.CopyRecord(k, cur, k*p+d)
+		}
+		cnt.MovedBytes += int64(len(buf.Data))
+		out[d] = buf
+	}
+	in, err := pr.AllToAll(cnt, tagBase+0, out)
+	if err != nil {
+		return record.Slice{}, err
+	}
+	for q := 0; q < p; q++ {
+		copy(cur.Data[q*chunk*z:(q+1)*chunk*z], in[q].Data)
+	}
+	cnt.MovedBytes += int64(len(cur.Data))
+
+	// Step 3: local sort.
+	tmp := record.Make(n, z)
+	sortalg.SortInto(tmp, cur)
+	cur, tmp = tmp, cur
+	cnt.CompareUnits += sim.SortWork(n)
+	cnt.MovedBytes += int64(len(cur.Data))
+
+	// Step 4: reshape & transpose. Chunk d (positions [d·n/P, (d+1)·n/P))
+	// of column q goes to column d, landing at local positions ≡ q (mod P)
+	// in chunk order.
+	for d := 0; d < p; d++ {
+		buf := record.Make(chunk, z)
+		copy(buf.Data, cur.Data[d*chunk*z:(d+1)*chunk*z])
+		cnt.MovedBytes += int64(len(buf.Data))
+		out[d] = buf
+	}
+	in, err = pr.AllToAll(cnt, tagBase+1, out)
+	if err != nil {
+		return record.Slice{}, err
+	}
+	for q := 0; q < p; q++ {
+		for k := 0; k < chunk; k++ {
+			cur.CopyRecord(k*p+q, in[q], k)
+		}
+	}
+	cnt.MovedBytes += int64(len(cur.Data))
+
+	// Steps 5–8: local sort, then fused boundary merges with neighbours.
+	sortalg.SortInto(tmp, cur)
+	cur, tmp = tmp, cur
+	cnt.CompareUnits += sim.SortWork(n)
+	cnt.MovedBytes += int64(len(cur.Data))
+	if err := BoundaryMerge(pr, cnt, tagBase+2, cur); err != nil {
+		return record.Slice{}, err
+	}
+	return cur, nil
+}
+
+// BoundaryMerge performs the fused steps 5–8 of columnsort across a row of
+// processors, in place on each processor's locally sorted block: the final
+// top half of block q is the high half of merge(bottom(q−1), top(q)), and
+// the final bottom half is the low half of merge(bottom(q), top(q+1)).
+// It uses two tags: tagBase (bottom halves moving right) and tagBase+1
+// (final bottoms moving left).
+func BoundaryMerge(pr Comm, cnt *sim.Counters, tagBase int, local record.Slice) error {
+	p, q := pr.NProcs(), pr.Rank()
+	n := local.Len()
+	if p == 1 || n == 0 {
+		return nil
+	}
+	if n%2 != 0 {
+		return fmt.Errorf("incore: boundary merge needs even block length, got %d", n)
+	}
+	h := n / 2
+	z := local.Size
+
+	// Ship my bottom half right.
+	if q < p-1 {
+		bot := record.Make(h, z)
+		bot.Copy(local.Sub(h, n))
+		cnt.MovedBytes += int64(len(bot.Data))
+		if err := pr.Send(cnt, q+1, tagBase, bot); err != nil {
+			return err
+		}
+	}
+	// Merge my top half with the left neighbour's bottom half.
+	if q > 0 {
+		prevBot, err := pr.Recv(q-1, tagBase)
+		if err != nil {
+			return err
+		}
+		merged := record.Make(n, z)
+		sortalg.MergeInto(merged, prevBot, local.Sub(0, h))
+		cnt.CompareUnits += sim.MergeWork(n, 2)
+		cnt.MovedBytes += int64(len(merged.Data))
+		// High half becomes my final top; low half is the left
+		// neighbour's final bottom.
+		local.Sub(0, h).Copy(merged.Sub(h, n))
+		back := record.Make(h, z)
+		back.Copy(merged.Sub(0, h))
+		if err := pr.Send(cnt, q-1, tagBase+1, back); err != nil {
+			return err
+		}
+	}
+	// Collect my final bottom from the right neighbour (the last block's
+	// bottom faces +∞ and is already final).
+	if q < p-1 {
+		fin, err := pr.Recv(q+1, tagBase+1)
+		if err != nil {
+			return err
+		}
+		local.Sub(h, n).Copy(fin)
+		cnt.MovedBytes += int64(h * z)
+	}
+	return nil
+}

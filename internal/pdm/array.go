@@ -1,0 +1,114 @@
+package pdm
+
+import (
+	"fmt"
+
+	"colsort/internal/sim"
+)
+
+// DiskArray is the set of D/P disks one processor owns, presented as a
+// single logical byte address space striped round-robin in StripeBytes
+// blocks. Sequential logical access becomes sequential access on every
+// member disk (one seek each); discontiguous access costs a seek per disk
+// per jump. Each array is used only by its owning processor's pipeline
+// stages, so no locking is needed; accounting goes into the caller's
+// sim.Counters.
+type DiskArray struct {
+	Disks       []Disk
+	StripeBytes int64
+
+	lastRead  []int64 // next expected sequential read offset per disk
+	lastWrite []int64 // next expected sequential write offset per disk
+}
+
+// NewDiskArray stripes the given disks at stripeBytes granularity.
+func NewDiskArray(disks []Disk, stripeBytes int) *DiskArray {
+	if len(disks) == 0 {
+		panic("pdm: empty disk array")
+	}
+	if stripeBytes <= 0 {
+		panic(fmt.Sprintf("pdm: stripe bytes %d must be positive", stripeBytes))
+	}
+	n := len(disks)
+	a := &DiskArray{Disks: disks, StripeBytes: int64(stripeBytes)}
+	a.lastRead = make([]int64, n)
+	a.lastWrite = make([]int64, n)
+	for i := range a.lastRead {
+		a.lastRead[i] = -1
+		a.lastWrite[i] = -1
+	}
+	return a
+}
+
+// locate maps a logical offset to (disk index, physical offset).
+func (a *DiskArray) locate(off int64) (int, int64) {
+	n := int64(len(a.Disks))
+	block := off / a.StripeBytes
+	in := off % a.StripeBytes
+	return int(block % n), (block/n)*a.StripeBytes + in
+}
+
+// ReadAt reads len(p) bytes starting at logical offset off, charging bytes
+// and discontiguous segments to cnt.
+func (a *DiskArray) ReadAt(cnt *sim.Counters, p []byte, off int64) error {
+	return a.transfer(cnt, p, off, true)
+}
+
+// WriteAt writes len(p) bytes starting at logical offset off.
+func (a *DiskArray) WriteAt(cnt *sim.Counters, p []byte, off int64) error {
+	return a.transfer(cnt, p, off, false)
+}
+
+func (a *DiskArray) transfer(cnt *sim.Counters, p []byte, off int64, read bool) error {
+	if off < 0 {
+		return fmt.Errorf("pdm: negative logical offset %d", off)
+	}
+	last := a.lastWrite
+	if read {
+		last = a.lastRead
+	}
+	for len(p) > 0 {
+		d, phys := a.locate(off)
+		chunk := int(a.StripeBytes - off%a.StripeBytes)
+		if chunk > len(p) {
+			chunk = len(p)
+		}
+		var err error
+		if read {
+			err = a.Disks[d].ReadAt(p[:chunk], phys)
+		} else {
+			err = a.Disks[d].WriteAt(p[:chunk], phys)
+		}
+		if err != nil {
+			return err
+		}
+		if cnt != nil {
+			if read {
+				cnt.DiskReadBytes += int64(chunk)
+				if last[d] != phys {
+					cnt.DiskReadOps++
+				}
+			} else {
+				cnt.DiskWriteBytes += int64(chunk)
+				if last[d] != phys {
+					cnt.DiskWriteOps++
+				}
+			}
+		}
+		last[d] = phys + int64(chunk)
+		p = p[chunk:]
+		off += int64(chunk)
+	}
+	return nil
+}
+
+// Close closes all member disks, returning the first error.
+func (a *DiskArray) Close() error {
+	var first error
+	for _, d := range a.Disks {
+		if err := d.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,191 @@
+// Package pdm implements the Parallel Disk Model substrate: D simulated
+// disks attached to P processors, per-processor striped disk arrays, and the
+// on-disk r×s record matrix layouts used by out-of-core columnsort.
+//
+// The paper's cluster has D ≥ P disks, each attached to one node; processor
+// j owns the D/P disks it accesses, and each column is stored contiguously
+// on the disks owned by a single processor (Section 2). Disks here are
+// either memory-backed (fast, for tests and benchmarks) or file-backed
+// (genuinely out-of-core); both are instrumented so that every transferred
+// byte and every discontiguous access is counted into sim.Counters.
+package pdm
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// Disk is one simulated disk: a flat byte address space with sparse
+// semantics (reads beyond the written extent return zeros, as with POSIX
+// sparse files).
+type Disk interface {
+	ReadAt(p []byte, off int64) error
+	WriteAt(p []byte, off int64) error
+	Size() int64
+	Close() error
+}
+
+// MemDisk is a growable in-memory disk.
+type MemDisk struct {
+	data []byte
+}
+
+// NewMemDisk returns an empty memory-backed disk.
+func NewMemDisk() *MemDisk { return &MemDisk{} }
+
+// ReadAt copies from the disk into p, zero-filling beyond the extent.
+func (d *MemDisk) ReadAt(p []byte, off int64) error {
+	if off < 0 {
+		return fmt.Errorf("pdm: negative offset %d", off)
+	}
+	for i := range p {
+		pos := off + int64(i)
+		if pos < int64(len(d.data)) {
+			p[i] = d.data[pos]
+		} else {
+			p[i] = 0
+		}
+	}
+	return nil
+}
+
+// WriteAt copies p onto the disk, growing it as needed.
+func (d *MemDisk) WriteAt(p []byte, off int64) error {
+	if off < 0 {
+		return fmt.Errorf("pdm: negative offset %d", off)
+	}
+	end := off + int64(len(p))
+	if end > int64(len(d.data)) {
+		grown := make([]byte, end)
+		copy(grown, d.data)
+		d.data = grown
+	}
+	copy(d.data[off:end], p)
+	return nil
+}
+
+// Size returns the written extent in bytes.
+func (d *MemDisk) Size() int64 { return int64(len(d.data)) }
+
+// Close releases the backing storage.
+func (d *MemDisk) Close() error { d.data = nil; return nil }
+
+// FileDisk is a disk backed by one file, for genuinely out-of-core runs.
+type FileDisk struct {
+	f *os.File
+}
+
+// NewFileDisk creates (or truncates) the file at path.
+func NewFileDisk(path string) (*FileDisk, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("pdm: %w", err)
+	}
+	return &FileDisk{f: f}, nil
+}
+
+// ReadAt reads from the file, zero-filling beyond EOF.
+func (d *FileDisk) ReadAt(p []byte, off int64) error {
+	n, err := d.f.ReadAt(p, off)
+	if err != nil {
+		if !errors.Is(err, os.ErrClosed) && n < len(p) && isEOF(err) {
+			for i := n; i < len(p); i++ {
+				p[i] = 0
+			}
+			return nil
+		}
+		return fmt.Errorf("pdm: read %s: %w", d.f.Name(), err)
+	}
+	return nil
+}
+
+func isEOF(err error) bool { return err != nil && err.Error() == "EOF" }
+
+// WriteAt writes to the file at the given offset (sparse growth).
+func (d *FileDisk) WriteAt(p []byte, off int64) error {
+	if _, err := d.f.WriteAt(p, off); err != nil {
+		return fmt.Errorf("pdm: write %s: %w", d.f.Name(), err)
+	}
+	return nil
+}
+
+// Size returns the current file size.
+func (d *FileDisk) Size() int64 {
+	info, err := d.f.Stat()
+	if err != nil {
+		return 0
+	}
+	return info.Size()
+}
+
+// Close closes and removes the backing file; simulated disks own scratch
+// space, so nothing should outlive the run.
+func (d *FileDisk) Close() error {
+	name := d.f.Name()
+	if err := d.f.Close(); err != nil {
+		return err
+	}
+	return os.Remove(name)
+}
+
+// FaultDisk wraps a Disk and fails every operation after a byte budget is
+// exhausted, for failure-injection tests.
+type FaultDisk struct {
+	Inner  Disk
+	Budget int64 // bytes of traffic allowed before failures begin
+	used   int64
+}
+
+// ErrInjected is the failure returned by an exhausted FaultDisk.
+var ErrInjected = errors.New("pdm: injected disk fault")
+
+func (d *FaultDisk) ReadAt(p []byte, off int64) error {
+	if d.used += int64(len(p)); d.used > d.Budget {
+		return ErrInjected
+	}
+	return d.Inner.ReadAt(p, off)
+}
+
+func (d *FaultDisk) WriteAt(p []byte, off int64) error {
+	if d.used += int64(len(p)); d.used > d.Budget {
+		return ErrInjected
+	}
+	return d.Inner.WriteAt(p, off)
+}
+
+func (d *FaultDisk) Size() int64  { return d.Inner.Size() }
+func (d *FaultDisk) Close() error { return d.Inner.Close() }
+
+// Backend constructs the disks of one machine.
+type Backend interface {
+	// NewDisk creates disk number idx (0 ≤ idx < D).
+	NewDisk(idx int) (Disk, error)
+	// Name identifies the backend in reports.
+	Name() string
+}
+
+// MemBackend builds memory disks.
+type MemBackend struct{}
+
+func (MemBackend) NewDisk(int) (Disk, error) { return NewMemDisk(), nil }
+func (MemBackend) Name() string              { return "mem" }
+
+// FileBackend builds file disks under Dir. Several stores (input, the
+// intermediate file of each pass, output) coexist on the same simulated
+// hardware, so each created disk gets a unique generation suffix — without
+// it a new store would truncate a live one's backing files.
+type FileBackend struct{ Dir string }
+
+var fileDiskSeq atomic.Int64
+
+func (b FileBackend) NewDisk(idx int) (Disk, error) {
+	if err := os.MkdirAll(b.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	gen := fileDiskSeq.Add(1)
+	return NewFileDisk(filepath.Join(b.Dir, fmt.Sprintf("disk%03d-g%05d.dat", idx, gen)))
+}
+func (b FileBackend) Name() string { return "file" }

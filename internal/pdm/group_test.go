@@ -1,0 +1,131 @@
+package pdm
+
+import (
+	"bytes"
+	"testing"
+
+	"colsort/internal/record"
+	"colsort/internal/sim"
+)
+
+func TestGroupBlockedLayout(t *testing.T) {
+	m := Machine{P: 8, D: 8, StripeBytes: 256}
+	// 2 groups of 4: columns alternate between groups; members hold r/4 rows.
+	st, err := m.NewGroupStore(64, 6, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Layout != GroupBlocked || st.G != 4 {
+		t.Fatalf("layout %v G=%d", st.Layout, st.G)
+	}
+	// Column 3 belongs to group 1 (procs 4..7); member 2 (proc 6) holds
+	// rows [32, 48).
+	if lo, hi := st.OwnedRows(6, 3); lo != 32 || hi != 48 {
+		t.Fatalf("proc 6 owns [%d,%d) of column 3", lo, hi)
+	}
+	if lo, hi := st.OwnedRows(1, 3); lo != 0 || hi != 0 {
+		t.Fatal("group 0 should own nothing of column 3")
+	}
+	if st.Owner(33, 3) != 6 {
+		t.Fatalf("Owner(33,3) = %d", st.Owner(33, 3))
+	}
+	// Round-trip a member block.
+	var cnt sim.Counters
+	part := record.Make(16, 16)
+	record.Fill(part, record.Uniform{Seed: 9}, 0)
+	if err := st.WriteRows(&cnt, 6, 3, 32, part); err != nil {
+		t.Fatal(err)
+	}
+	back := record.Make(16, 16)
+	if err := st.ReadRows(&cnt, 6, 3, 32, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.Data, part.Data) {
+		t.Fatal("group-blocked round trip corrupted data")
+	}
+	// Foreign access rejected.
+	if err := st.WriteRows(&cnt, 5, 3, 32, part); err == nil {
+		t.Fatal("member 1 wrote member 2 rows")
+	}
+}
+
+func TestGroupBlockedDegenerateEquivalence(t *testing.T) {
+	// G = 1 must agree with ColumnOwned ownership; G = P with RowBlocked.
+	m := Machine{P: 4, D: 4}
+	co, err := m.NewStore(32, 8, 16, ColumnOwned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	g1, err := m.NewGroupStore(32, 8, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g1.Close()
+	rb, err := m.NewStore(32, 8, 16, RowBlocked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rb.Close()
+	gp, err := m.NewGroupStore(32, 8, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gp.Close()
+	for j := 0; j < 8; j++ {
+		for i := 0; i < 32; i++ {
+			if co.Owner(i, j) != g1.Owner(i, j) {
+				t.Fatalf("G=1 owner mismatch at (%d,%d)", i, j)
+			}
+			if rb.Owner(i, j) != gp.Owner(i, j) {
+				t.Fatalf("G=P owner mismatch at (%d,%d)", i, j)
+			}
+		}
+		for p := 0; p < 4; p++ {
+			al, ah := co.OwnedRows(p, j)
+			bl, bh := g1.OwnedRows(p, j)
+			if al != bl || ah != bh {
+				t.Fatalf("G=1 rows mismatch p=%d j=%d", p, j)
+			}
+		}
+	}
+}
+
+func TestGroupBlockedFillSnapshot(t *testing.T) {
+	m := Machine{P: 4, D: 4}
+	st, err := m.NewGroupStore(32, 4, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	g := record.Uniform{Seed: 13}
+	if err := st.Fill(g); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := record.Make(32*4, 16)
+	record.Fill(want, g, 0)
+	if !bytes.Equal(snap.Data, want.Data) {
+		t.Fatal("group-blocked snapshot differs from generated data")
+	}
+}
+
+func TestNewGroupStoreValidation(t *testing.T) {
+	m := Machine{P: 4, D: 4}
+	if _, err := m.NewGroupStore(32, 4, 16, 3); err == nil {
+		t.Fatal("G not dividing P accepted")
+	}
+	if _, err := m.NewGroupStore(33, 4, 16, 2); err == nil {
+		t.Fatal("G not dividing r accepted")
+	}
+	if _, err := m.NewGroupStore(32, 3, 16, 2); err == nil {
+		t.Fatal("groups not sharing s evenly accepted")
+	}
+	if _, err := m.NewStore(32, 4, 16, GroupBlocked); err == nil {
+		t.Fatal("NewStore accepted GroupBlocked")
+	}
+}

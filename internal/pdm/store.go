@@ -1,0 +1,350 @@
+package pdm
+
+import (
+	"fmt"
+
+	"colsort/internal/record"
+	"colsort/internal/sim"
+)
+
+// Layout selects how the rows of each column of an r×s matrix are assigned
+// to processors.
+type Layout int
+
+const (
+	// ColumnOwned is the paper's layout for threaded and subblock
+	// columnsort: processor j mod P owns all of column j, stored
+	// contiguously (striped across its own disks). With columns assigned
+	// round-robin this is also the PDM striped ordering at column
+	// granularity, so the final output satisfies footnote 6.
+	ColumnOwned Layout = iota
+	// RowBlocked is M-columnsort's layout: every processor owns an equal
+	// contiguous block of rows of every column (processor p holds rows
+	// [p·r/P, (p+1)·r/P)), since a column of r = M records is shared by
+	// the whole cluster.
+	RowBlocked
+	// GroupBlocked generalizes both for hybrid group columnsort: the P
+	// processors form P/G groups of G; column j is owned by group
+	// j mod (P/G), whose member m holds rows [m·r/G, (m+1)·r/G).
+	// G = 1 coincides with ColumnOwned and G = P with RowBlocked.
+	GroupBlocked
+)
+
+func (l Layout) String() string {
+	switch l {
+	case ColumnOwned:
+		return "column-owned"
+	case RowBlocked:
+		return "row-blocked"
+	case GroupBlocked:
+		return "group-blocked"
+	}
+	return fmt.Sprintf("Layout(%d)", int(l))
+}
+
+// Store is an r×s record matrix resident on the cluster's disks.
+type Store struct {
+	R, S    int
+	RecSize int
+	P       int
+	Layout  Layout
+	G       int          // group size; meaningful for GroupBlocked only
+	Arrays  []*DiskArray // one per processor
+}
+
+// NewStore validates the shape against the layout and wraps the arrays.
+func NewStore(r, s, recSize, p int, layout Layout, arrays []*DiskArray) (*Store, error) {
+	if err := record.CheckSize(recSize); err != nil {
+		return nil, err
+	}
+	if len(arrays) != p {
+		return nil, fmt.Errorf("pdm: %d arrays for %d processors", len(arrays), p)
+	}
+	switch layout {
+	case ColumnOwned:
+		if s%p != 0 {
+			return nil, fmt.Errorf("pdm: P=%d must divide s=%d for column-owned layout", p, s)
+		}
+	case RowBlocked:
+		if r%p != 0 {
+			return nil, fmt.Errorf("pdm: P=%d must divide r=%d for row-blocked layout", p, r)
+		}
+	case GroupBlocked:
+		return nil, fmt.Errorf("pdm: group-blocked stores need NewGroupStore")
+	default:
+		return nil, fmt.Errorf("pdm: unknown layout %v", layout)
+	}
+	return &Store{R: r, S: s, RecSize: recSize, P: p, Layout: layout, Arrays: arrays}, nil
+}
+
+// NewGroupStore builds a GroupBlocked store for group size g.
+func NewGroupStore(r, s, recSize, p, g int, arrays []*DiskArray) (*Store, error) {
+	if err := record.CheckSize(recSize); err != nil {
+		return nil, err
+	}
+	if len(arrays) != p {
+		return nil, fmt.Errorf("pdm: %d arrays for %d processors", len(arrays), p)
+	}
+	if g < 1 || p%g != 0 {
+		return nil, fmt.Errorf("pdm: group size %d must divide P=%d", g, p)
+	}
+	if r%g != 0 {
+		return nil, fmt.Errorf("pdm: G=%d must divide r=%d", g, r)
+	}
+	if s%(p/g) != 0 {
+		return nil, fmt.Errorf("pdm: the %d groups must evenly share s=%d columns", p/g, s)
+	}
+	return &Store{R: r, S: s, RecSize: recSize, P: p, Layout: GroupBlocked, G: g, Arrays: arrays}, nil
+}
+
+// Owner returns the processor owning row i of column j.
+func (st *Store) Owner(i, j int) int {
+	switch st.Layout {
+	case ColumnOwned:
+		return j % st.P
+	case GroupBlocked:
+		ng := st.P / st.G
+		return (j%ng)*st.G + i/(st.R/st.G)
+	}
+	return i / (st.R / st.P)
+}
+
+// OwnedRows returns the half-open row range of column j stored on
+// processor p; empty when p owns none of the column.
+func (st *Store) OwnedRows(p, j int) (lo, hi int) {
+	switch st.Layout {
+	case ColumnOwned:
+		if j%st.P != p {
+			return 0, 0
+		}
+		return 0, st.R
+	case GroupBlocked:
+		ng := st.P / st.G
+		if j%ng != p/st.G {
+			return 0, 0
+		}
+		m := p % st.G
+		rb := st.R / st.G
+		return m * rb, (m + 1) * rb
+	}
+	rb := st.R / st.P
+	return p * rb, (p + 1) * rb
+}
+
+// offset computes the logical byte offset, within processor p's array, of
+// (row, col) — which must be owned by p (checked by callers via OwnedRows).
+func (st *Store) offset(p, row, col int) int64 {
+	z := int64(st.RecSize)
+	switch st.Layout {
+	case ColumnOwned:
+		slot := int64(col / st.P)
+		return (slot*int64(st.R) + int64(row)) * z
+	case GroupBlocked:
+		ng := st.P / st.G
+		slot := int64(col / ng)
+		rb := int64(st.R / st.G)
+		m := int64(p % st.G)
+		return (slot*rb + int64(row) - m*rb) * z
+	}
+	rb := int64(st.R / st.P)
+	return (int64(col)*rb + int64(row) - int64(p)*rb) * z
+}
+
+// ReadRows reads rows [rowLo, rowLo+dst.Len()) of column j from processor
+// p's disks into dst. The range must lie within p's owned rows.
+func (st *Store) ReadRows(cnt *sim.Counters, p, j, rowLo int, dst record.Slice) error {
+	if err := st.checkRange(p, j, rowLo, dst.Len()); err != nil {
+		return err
+	}
+	if dst.Size != st.RecSize {
+		return fmt.Errorf("pdm: buffer record size %d != store %d", dst.Size, st.RecSize)
+	}
+	return st.Arrays[p].ReadAt(cnt, dst.Data, st.offset(p, rowLo, j))
+}
+
+// WriteRows writes src into rows [rowLo, rowLo+src.Len()) of column j on
+// processor p's disks.
+func (st *Store) WriteRows(cnt *sim.Counters, p, j, rowLo int, src record.Slice) error {
+	if err := st.checkRange(p, j, rowLo, src.Len()); err != nil {
+		return err
+	}
+	if src.Size != st.RecSize {
+		return fmt.Errorf("pdm: buffer record size %d != store %d", src.Size, st.RecSize)
+	}
+	return st.Arrays[p].WriteAt(cnt, src.Data, st.offset(p, rowLo, j))
+}
+
+func (st *Store) checkRange(p, j, rowLo, n int) error {
+	if p < 0 || p >= st.P {
+		return fmt.Errorf("pdm: processor %d out of range", p)
+	}
+	if j < 0 || j >= st.S {
+		return fmt.Errorf("pdm: column %d out of range (s=%d)", j, st.S)
+	}
+	lo, hi := st.OwnedRows(p, j)
+	if rowLo < lo || rowLo+n > hi {
+		return fmt.Errorf("pdm: rows [%d,%d) of column %d not owned by processor %d (owns [%d,%d), layout %v)",
+			rowLo, rowLo+n, j, p, lo, hi, st.Layout)
+	}
+	return nil
+}
+
+// ReadColumn reads the whole of column j (ColumnOwned only) into dst.
+func (st *Store) ReadColumn(cnt *sim.Counters, p, j int, dst record.Slice) error {
+	if st.Layout != ColumnOwned {
+		return fmt.Errorf("pdm: ReadColumn requires column-owned layout")
+	}
+	if dst.Len() != st.R {
+		return fmt.Errorf("pdm: column buffer holds %d records, want r=%d", dst.Len(), st.R)
+	}
+	return st.ReadRows(cnt, p, j, 0, dst)
+}
+
+// WriteColumn writes the whole of column j (ColumnOwned only) from src.
+func (st *Store) WriteColumn(cnt *sim.Counters, p, j int, src record.Slice) error {
+	if st.Layout != ColumnOwned {
+		return fmt.Errorf("pdm: WriteColumn requires column-owned layout")
+	}
+	if src.Len() != st.R {
+		return fmt.Errorf("pdm: column buffer holds %d records, want r=%d", src.Len(), st.R)
+	}
+	return st.WriteRows(cnt, p, j, 0, src)
+}
+
+// Machine describes the simulated cluster hardware: P processors, D disks
+// (P | D), a striping unit, and the disk backend.
+type Machine struct {
+	P           int
+	D           int
+	StripeBytes int
+	Backend     Backend
+}
+
+// DefaultStripeBytes is the striping unit used when none is specified.
+const DefaultStripeBytes = 64 << 10
+
+// NewArrays builds the per-processor disk arrays: processor p owns disks
+// {p, p+P, p+2P, ...}, matching the paper's disk-ownership rule.
+func (m Machine) NewArrays() ([]*DiskArray, error) {
+	if m.P < 1 || m.D < m.P || m.D%m.P != 0 {
+		return nil, fmt.Errorf("pdm: need P ≥ 1 and P | D, got P=%d D=%d", m.P, m.D)
+	}
+	stripe := m.StripeBytes
+	if stripe == 0 {
+		stripe = DefaultStripeBytes
+	}
+	backend := m.Backend
+	if backend == nil {
+		backend = MemBackend{}
+	}
+	arrays := make([]*DiskArray, m.P)
+	for p := 0; p < m.P; p++ {
+		disks := make([]Disk, m.D/m.P)
+		for k := range disks {
+			d, err := backend.NewDisk(p + k*m.P)
+			if err != nil {
+				return nil, err
+			}
+			disks[k] = d
+		}
+		arrays[p] = NewDiskArray(disks, stripe)
+	}
+	return arrays, nil
+}
+
+// NewStore allocates a fresh store for an r×s matrix on new arrays.
+func (m Machine) NewStore(r, s, recSize int, layout Layout) (*Store, error) {
+	arrays, err := m.NewArrays()
+	if err != nil {
+		return nil, err
+	}
+	return NewStore(r, s, recSize, m.P, layout, arrays)
+}
+
+// NewGroupStore allocates a fresh GroupBlocked store on new arrays.
+func (m Machine) NewGroupStore(r, s, recSize, g int) (*Store, error) {
+	arrays, err := m.NewArrays()
+	if err != nil {
+		return nil, err
+	}
+	return NewGroupStore(r, s, recSize, m.P, g, arrays)
+}
+
+// Close closes every array of the store.
+func (st *Store) Close() error {
+	var first error
+	for _, a := range st.Arrays {
+		if err := a.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Fill populates the store from a generator, assigning global index
+// j·r + i to the record at (row i, column j) — i.e. generator order is
+// column-major, matching the input convention of the sorters.
+func (st *Store) Fill(g record.Generator) error {
+	var cnt sim.Counters
+	buf := record.Make(1, st.RecSize)
+	for j := 0; j < st.S; j++ {
+		for p := 0; p < st.P; p++ {
+			lo, hi := st.OwnedRows(p, j)
+			if lo == hi {
+				continue
+			}
+			chunk := record.Make(hi-lo, st.RecSize)
+			for i := lo; i < hi; i++ {
+				g.Gen(buf.Record(0), int64(j)*int64(st.R)+int64(i))
+				chunk.CopyRecord(i-lo, buf, 0)
+			}
+			if err := st.WriteRows(&cnt, p, j, lo, chunk); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot reads the whole matrix into memory (tests and verification).
+func (st *Store) Snapshot() (record.Slice, error) {
+	var cnt sim.Counters
+	out := record.Make(st.R*st.S, st.RecSize)
+	for j := 0; j < st.S; j++ {
+		for p := 0; p < st.P; p++ {
+			lo, hi := st.OwnedRows(p, j)
+			if lo == hi {
+				continue
+			}
+			chunk := record.Make(hi-lo, st.RecSize)
+			if err := st.ReadRows(&cnt, p, j, lo, chunk); err != nil {
+				return record.Slice{}, err
+			}
+			for i := lo; i < hi; i++ {
+				out.CopyRecord(j*st.R+i, chunk, i-lo)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Checksum computes the order-independent multiset checksum of the store's
+// contents without holding more than one column in memory.
+func (st *Store) Checksum() (record.Checksum, error) {
+	var cnt sim.Counters
+	var c record.Checksum
+	for j := 0; j < st.S; j++ {
+		for p := 0; p < st.P; p++ {
+			lo, hi := st.OwnedRows(p, j)
+			if lo == hi {
+				continue
+			}
+			chunk := record.Make(hi-lo, st.RecSize)
+			if err := st.ReadRows(&cnt, p, j, lo, chunk); err != nil {
+				return c, err
+			}
+			c.AddSlice(chunk)
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,75 @@
+package record
+
+// Checksum is an order-independent fingerprint of a multiset of records.
+// Two record collections have equal Checksums (with overwhelming
+// probability) iff they contain the same records with the same
+// multiplicities, regardless of order. Sorting algorithms must preserve it
+// exactly; the verify package compares input and output checksums.
+//
+// The construction hashes each record to a 64-bit value and combines with
+// both a sum and a xor-of-rotations, plus a count; collisions require
+// simultaneous collisions in independent mixes.
+type Checksum struct {
+	Count int64
+	Sum   uint64
+	Mix   uint64
+}
+
+// Add folds one record into the checksum.
+func (c *Checksum) Add(rec []byte) {
+	h := hashRecord(rec)
+	c.Count++
+	c.Sum += h
+	// Rotate by a data-dependent amount before xoring so that identical
+	// records still contribute identically but the combination is not a
+	// plain xor (which would cancel pairs).
+	r := h & 63
+	c.Mix += (h << r) | (h >> (64 - r))
+}
+
+// AddSlice folds every record of s into the checksum.
+func (c *Checksum) AddSlice(s Slice) {
+	n := s.Len()
+	for i := 0; i < n; i++ {
+		c.Add(s.Record(i))
+	}
+}
+
+// Merge combines another checksum into c (disjoint-union of multisets).
+func (c *Checksum) Merge(o Checksum) {
+	c.Count += o.Count
+	c.Sum += o.Sum
+	c.Mix += o.Mix
+}
+
+// Equal reports whether two checksums match.
+func (c Checksum) Equal(o Checksum) bool {
+	return c.Count == o.Count && c.Sum == o.Sum && c.Mix == o.Mix
+}
+
+func hashRecord(rec []byte) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	i := 0
+	for ; i+8 <= len(rec); i += 8 {
+		w := uint64(rec[i]) | uint64(rec[i+1])<<8 | uint64(rec[i+2])<<16 | uint64(rec[i+3])<<24 |
+			uint64(rec[i+4])<<32 | uint64(rec[i+5])<<40 | uint64(rec[i+6])<<48 | uint64(rec[i+7])<<56
+		h = splitmix64(h ^ w)
+	}
+	for ; i < len(rec); i++ {
+		h = splitmix64(h ^ uint64(rec[i]))
+	}
+	return h
+}
+
+// OfGenerated computes the checksum that Fill(s, g, 0) over n records of the
+// given size would produce, without materializing them all at once. Used to
+// verify out-of-core outputs against the logical input.
+func OfGenerated(g Generator, n int64, size int) Checksum {
+	var c Checksum
+	rec := make([]byte, size)
+	for i := int64(0); i < n; i++ {
+		g.Gen(rec, i)
+		c.Add(rec)
+	}
+	return c
+}

@@ -1,0 +1,312 @@
+package sortalg
+
+import (
+	"fmt"
+
+	"colsort/internal/record"
+)
+
+// Run describes a sorted subsequence of a record buffer: records at
+// positions Start, Start+Stride, ..., Start+(Count-1)*Stride. The write
+// patterns of columnsort passes leave each column as a set of such runs
+// (contiguous runs after pass 1, stride-s interleaved runs after pass 2),
+// and the next pass's sort stage exploits them by merging instead of
+// sorting from scratch — the optimization footnote 5 of the paper describes.
+type Run struct {
+	Start, Stride, Count int
+}
+
+// validate panics on malformed run descriptors; these are always produced
+// by pass planners, so errors are programmer bugs.
+func (r Run) validate(n int) {
+	if r.Count < 0 || r.Stride < 1 || r.Start < 0 {
+		panic(fmt.Sprintf("sortalg: bad run %+v", r))
+	}
+	if r.Count > 0 && r.Start+(r.Count-1)*r.Stride >= n {
+		panic(fmt.Sprintf("sortalg: run %+v exceeds buffer of %d records", r, n))
+	}
+}
+
+// Contiguous returns the run descriptor for a plain sorted block [start,
+// start+count).
+func Contiguous(start, count int) Run { return Run{Start: start, Stride: 1, Count: count} }
+
+// ContiguousRuns cuts n records into k equal contiguous runs.
+func ContiguousRuns(n, k int) []Run {
+	if k <= 0 || n%k != 0 {
+		panic(fmt.Sprintf("sortalg: cannot cut %d records into %d equal runs", n, k))
+	}
+	runs := make([]Run, k)
+	for i := range runs {
+		runs[i] = Contiguous(i*(n/k), n/k)
+	}
+	return runs
+}
+
+// StridedRuns describes n records as k interleaved runs of stride k:
+// run i is positions i, i+k, i+2k, .... This is the run structure left in
+// each column by the reshape-transpose write of columnsort step 4.
+func StridedRuns(n, k int) []Run {
+	if k <= 0 || n%k != 0 {
+		panic(fmt.Sprintf("sortalg: cannot view %d records as %d strided runs", n, k))
+	}
+	runs := make([]Run, k)
+	for i := range runs {
+		runs[i] = Run{Start: i, Stride: k, Count: n / k}
+	}
+	return runs
+}
+
+// DetectRuns scans s and returns its maximal ascending contiguous runs.
+// Used when the run structure is not known statically.
+func DetectRuns(s record.Slice) []Run {
+	n := s.Len()
+	if n == 0 {
+		return nil
+	}
+	var runs []Run
+	start := 0
+	for i := 1; i < n; i++ {
+		if s.Less(i, i-1) {
+			runs = append(runs, Contiguous(start, i-start))
+			start = i
+		}
+	}
+	return append(runs, Contiguous(start, n-start))
+}
+
+// MergeRunsInto merges the sorted runs of src into dst in total order.
+// The runs must cover src exactly (the merge checks total count only, since
+// overlapping-run bugs surface immediately in sortedness tests). For k ≤ 2
+// it uses direct merges; otherwise a loser tree.
+func MergeRunsInto(dst, src record.Slice, runs []Run) {
+	checkInto(dst, src)
+	total := 0
+	for _, r := range runs {
+		r.validate(src.Len())
+		total += r.Count
+	}
+	if total != src.Len() {
+		panic(fmt.Sprintf("sortalg: runs cover %d of %d records", total, src.Len()))
+	}
+	switch len(runs) {
+	case 0:
+		return
+	case 1:
+		r := runs[0]
+		for i := 0; i < r.Count; i++ {
+			dst.CopyRecord(i, src, r.Start+i*r.Stride)
+		}
+		return
+	case 2:
+		merge2(dst, src, runs[0], runs[1])
+		return
+	}
+	t := newLoserTree(src, runs)
+	for i := 0; i < total; i++ {
+		dst.CopyRecord(i, src, t.pop())
+	}
+}
+
+// MergeInto merges two independently stored sorted slices a and b into dst.
+// Used by the fused steps 5–8 boundary merges, where the two halves come
+// from different columns (and often different processors).
+func MergeInto(dst, a, b record.Slice) {
+	if dst.Len() != a.Len()+b.Len() || dst.Size != a.Size || a.Size != b.Size {
+		panic("sortalg: MergeInto size mismatch")
+	}
+	i, j, k := 0, 0, 0
+	for i < a.Len() && j < b.Len() {
+		if record.Compare(b, j, a, i) < 0 {
+			dst.CopyRecord(k, b, j)
+			j++
+		} else {
+			dst.CopyRecord(k, a, i)
+			i++
+		}
+		k++
+	}
+	for ; i < a.Len(); i++ {
+		dst.CopyRecord(k, a, i)
+		k++
+	}
+	for ; j < b.Len(); j++ {
+		dst.CopyRecord(k, b, j)
+		k++
+	}
+}
+
+func merge2(dst, src record.Slice, ra, rb Run) {
+	ai, bi := 0, 0
+	k := 0
+	for ai < ra.Count && bi < rb.Count {
+		pa := ra.Start + ai*ra.Stride
+		pb := rb.Start + bi*rb.Stride
+		if src.Less(pb, pa) {
+			dst.CopyRecord(k, src, pb)
+			bi++
+		} else {
+			dst.CopyRecord(k, src, pa)
+			ai++
+		}
+		k++
+	}
+	for ; ai < ra.Count; ai++ {
+		dst.CopyRecord(k, src, ra.Start+ai*ra.Stride)
+		k++
+	}
+	for ; bi < rb.Count; bi++ {
+		dst.CopyRecord(k, src, rb.Start+bi*rb.Stride)
+		k++
+	}
+}
+
+// loserTree is a tournament tree for k-way merging: internal nodes hold the
+// loser of each match and node[0] holds the overall winner, giving
+// ⌈log₂ k⌉ comparisons per extracted record — the standard structure for
+// external-memory merge stages. The run count is padded to a power of two
+// with permanently exhausted dummy runs so the tree is perfect and the
+// leaf-to-parent arithmetic stays trivial.
+type loserTree struct {
+	src  record.Slice
+	runs []Run
+	next []int // next index within each run
+	node []int // node[i≥1] = run id of the loser at internal node i; node[0] = winner
+	k    int   // padded (power-of-two) leaf count
+}
+
+func newLoserTree(src record.Slice, runs []Run) *loserTree {
+	k := 1
+	for k < len(runs) {
+		k *= 2
+	}
+	t := &loserTree{src: src, runs: runs, next: make([]int, len(runs)), node: make([]int, k), k: k}
+	// Full tournament initialization: internal node i has children 2i and
+	// 2i+1; leaves are node indices k..2k-1 standing for runs 0..k-1.
+	var play func(i int) int
+	play = func(i int) int {
+		if i >= k {
+			r := i - k
+			if r >= len(runs) {
+				return -1 // padding leaf: permanently exhausted
+			}
+			return r
+		}
+		wl, wr := play(2*i), play(2*i+1)
+		if t.beats(wl, wr) {
+			t.node[i] = wr
+			return wl
+		}
+		t.node[i] = wl
+		return wr
+	}
+	t.node[0] = play(1)
+	return t
+}
+
+// cur returns the source position of run r's current record, or -1 if the
+// run is exhausted.
+func (t *loserTree) cur(r int) int {
+	if r < 0 || t.next[r] >= t.runs[r].Count {
+		return -1
+	}
+	return t.runs[r].Start + t.next[r]*t.runs[r].Stride
+}
+
+// beats reports whether run a's current record should be emitted before run
+// b's. Exhausted runs lose to everything; ties break on run id for
+// determinism.
+func (t *loserTree) beats(a, b int) bool {
+	pa, pb := t.cur(a), t.cur(b)
+	switch {
+	case pa < 0:
+		return false
+	case pb < 0:
+		return true
+	}
+	c := record.Compare(t.src, pa, t.src, pb)
+	if c != 0 {
+		return c < 0
+	}
+	return a < b
+}
+
+// replay pushes run r up from its leaf after its front record changed,
+// swapping with stored losers that now beat it, and records the new winner.
+func (t *loserTree) replay(r int) {
+	winner := r
+	for i := (r + t.k) / 2; i > 0; i /= 2 {
+		if t.beats(t.node[i], winner) {
+			t.node[i], winner = winner, t.node[i]
+		}
+	}
+	t.node[0] = winner
+}
+
+// pop returns the source position of the next record in merge order and
+// advances its run. Calling pop more times than there are records panics.
+func (t *loserTree) pop() int {
+	w := t.node[0]
+	p := t.cur(w)
+	if p < 0 {
+		panic("sortalg: loser tree exhausted")
+	}
+	t.next[w]++
+	t.replay(w)
+	return p
+}
+
+// heapMergeRunsInto is a simple binary-heap k-way merge used as a reference
+// implementation to cross-check the loser tree in tests.
+func heapMergeRunsInto(dst, src record.Slice, runs []Run) {
+	checkInto(dst, src)
+	type cur struct{ run, next int }
+	h := make([]cur, 0, len(runs))
+	pos := func(c cur) int { return runs[c.run].Start + c.next*runs[c.run].Stride }
+	lessCur := func(a, b cur) bool {
+		c := record.Compare(src, pos(a), src, pos(b))
+		if c != 0 {
+			return c < 0
+		}
+		return a.run < b.run
+	}
+	var down func(i int)
+	down = func(i int) {
+		for {
+			c := 2*i + 1
+			if c >= len(h) {
+				return
+			}
+			if c+1 < len(h) && lessCur(h[c+1], h[c]) {
+				c++
+			}
+			if !lessCur(h[c], h[i]) {
+				return
+			}
+			h[i], h[c] = h[c], h[i]
+			i = c
+		}
+	}
+	for r := range runs {
+		if runs[r].Count > 0 {
+			h = append(h, cur{run: r})
+		}
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		down(i)
+	}
+	k := 0
+	for len(h) > 0 {
+		top := h[0]
+		dst.CopyRecord(k, src, pos(top))
+		k++
+		top.next++
+		if top.next < runs[top.run].Count {
+			h[0] = top
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		down(0)
+	}
+}

@@ -1,0 +1,345 @@
+package sortalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"colsort/internal/record"
+)
+
+func fillRandom(s record.Slice, seed uint64) {
+	record.Fill(s, record.Uniform{Seed: seed}, 0)
+}
+
+func checksum(s record.Slice) record.Checksum {
+	var c record.Checksum
+	c.AddSlice(s)
+	return c
+}
+
+func TestSortIntoAllAlgorithms(t *testing.T) {
+	algs := []Algorithm{Intro, Radix, Heap, Insertion}
+	sizes := []int{0, 1, 2, 3, 15, 64, 257, 1000}
+	gens := []record.Generator{
+		record.Uniform{Seed: 1},
+		record.Dup{Seed: 2, K: 3},
+		record.Sorted{Seed: 3},
+		record.Reverse{Seed: 4},
+		record.NearlySorted{Seed: 5, Window: 16},
+	}
+	for _, alg := range algs {
+		for _, n := range sizes {
+			for _, g := range gens {
+				src := record.Make(n, 16)
+				record.Fill(src, g, 0)
+				want := checksum(src)
+				dst := record.Make(n, 16)
+				SortIntoAlg(dst, src, alg)
+				if !dst.IsSorted() {
+					t.Fatalf("%v n=%d gen=%s: not sorted", alg, n, g.Name())
+				}
+				if !checksum(dst).Equal(want) {
+					t.Fatalf("%v n=%d gen=%s: multiset changed", alg, n, g.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestAlgorithmsAgreeExactly(t *testing.T) {
+	// With the payload tie-break total order, all algorithms must produce
+	// byte-identical outputs, even with heavy duplication.
+	src := record.Make(512, 32)
+	record.Fill(src, record.Dup{Seed: 7, K: 5}, 0)
+	ref := record.Make(512, 32)
+	SortIntoAlg(ref, src, Intro)
+	for _, alg := range []Algorithm{Radix, Heap, Insertion} {
+		dst := record.Make(512, 32)
+		SortIntoAlg(dst, src, alg)
+		for i := 0; i < 512*32; i++ {
+			if dst.Data[i] != ref.Data[i] {
+				t.Fatalf("%v output differs from intro at byte %d", alg, i)
+			}
+		}
+	}
+}
+
+func TestSortInPlace(t *testing.T) {
+	s := record.Make(100, 16)
+	fillRandom(s, 9)
+	want := checksum(s)
+	Sort(s)
+	if !s.IsSorted() || !checksum(s).Equal(want) {
+		t.Fatal("in-place Sort failed")
+	}
+}
+
+func TestSortWideRecords(t *testing.T) {
+	src := record.Make(300, 128)
+	fillRandom(src, 11)
+	dst := record.Make(300, 128)
+	SortInto(dst, src)
+	if !dst.IsSorted() {
+		t.Fatal("wide-record sort not sorted")
+	}
+	if !checksum(dst).Equal(checksum(src)) {
+		t.Fatal("wide-record sort changed multiset")
+	}
+}
+
+func TestIntroQuicksortKiller(t *testing.T) {
+	// Organ-pipe / many-equal patterns that degrade naive quicksort.
+	n := 4096
+	src := record.Make(n, 16)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			src.SetKey(i, uint64(i))
+		} else {
+			src.SetKey(i, uint64(n-i))
+		}
+	}
+	dst := record.Make(n, 16)
+	SortIntoAlg(dst, src, Intro)
+	if !dst.IsSorted() {
+		t.Fatal("introsort failed on organ-pipe input")
+	}
+	// All-equal keys.
+	src.FillKey(42)
+	SortIntoAlg(dst, src, Intro)
+	if !dst.IsSorted() {
+		t.Fatal("introsort failed on constant input")
+	}
+}
+
+func TestRadixSkipsUniformDigits(t *testing.T) {
+	// Keys differing only in the low 16 bits exercise the digit-skip path.
+	n := 1000
+	src := record.Make(n, 16)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < n; i++ {
+		src.SetKey(i, uint64(rng.Intn(65536)))
+	}
+	dst := record.Make(n, 16)
+	SortIntoAlg(dst, src, Radix)
+	if !dst.IsSorted() {
+		t.Fatal("radix failed with identical high digits")
+	}
+}
+
+func TestSortQuick(t *testing.T) {
+	f := func(keys []uint64, algPick uint8) bool {
+		alg := []Algorithm{Intro, Radix, Heap}[int(algPick)%3]
+		src := record.Make(len(keys), 16)
+		for i, k := range keys {
+			src.SetKey(i, k)
+		}
+		want := checksum(src)
+		dst := record.Make(len(keys), 16)
+		SortIntoAlg(dst, src, alg)
+		return dst.IsSorted() && checksum(dst).Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortIntoMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched buffers")
+		}
+	}()
+	SortInto(record.Make(3, 16), record.Make(4, 16))
+}
+
+func TestMergeInto(t *testing.T) {
+	a := record.Make(10, 16)
+	b := record.Make(15, 16)
+	fillRandom(a, 1)
+	fillRandom(b, 2)
+	Sort(a)
+	Sort(b)
+	dst := record.Make(25, 16)
+	MergeInto(dst, a, b)
+	if !dst.IsSorted() {
+		t.Fatal("MergeInto not sorted")
+	}
+	want := checksum(a)
+	want.Merge(checksum(b))
+	if !checksum(dst).Equal(want) {
+		t.Fatal("MergeInto changed multiset")
+	}
+}
+
+func TestMergeIntoEmptyHalves(t *testing.T) {
+	a := record.Make(0, 16)
+	b := record.Make(5, 16)
+	fillRandom(b, 3)
+	Sort(b)
+	dst := record.Make(5, 16)
+	MergeInto(dst, a, b)
+	if !dst.IsSorted() {
+		t.Fatal("MergeInto with empty a failed")
+	}
+	MergeInto(dst, b, a)
+	if !dst.IsSorted() {
+		t.Fatal("MergeInto with empty b failed")
+	}
+}
+
+func TestMergeRunsContiguous(t *testing.T) {
+	// Build a buffer of k sorted contiguous runs and merge.
+	for _, k := range []int{1, 2, 3, 8, 16} {
+		n := k * 32
+		src := record.Make(n, 16)
+		fillRandom(src, uint64(k))
+		for i := 0; i < k; i++ {
+			Sort(src.Sub(i*32, (i+1)*32))
+		}
+		want := checksum(src)
+		dst := record.Make(n, 16)
+		MergeRunsInto(dst, src, ContiguousRuns(n, k))
+		if !dst.IsSorted() {
+			t.Fatalf("k=%d: merge of contiguous runs not sorted", k)
+		}
+		if !checksum(dst).Equal(want) {
+			t.Fatalf("k=%d: merge changed multiset", k)
+		}
+	}
+}
+
+func TestMergeRunsStrided(t *testing.T) {
+	// Strided runs: sort positions i, i+k, ... for each i, then merge.
+	k, per := 8, 64
+	n := k * per
+	src := record.Make(n, 16)
+	fillRandom(src, 5)
+	// Sort each strided run by extracting, sorting, writing back.
+	for i := 0; i < k; i++ {
+		tmp := record.Make(per, 16)
+		for j := 0; j < per; j++ {
+			tmp.CopyRecord(j, src, i+j*k)
+		}
+		Sort(tmp)
+		for j := 0; j < per; j++ {
+			src.CopyRecord(i+j*k, tmp, j)
+		}
+	}
+	want := checksum(src)
+	dst := record.Make(n, 16)
+	MergeRunsInto(dst, src, StridedRuns(n, k))
+	if !dst.IsSorted() {
+		t.Fatal("strided merge not sorted")
+	}
+	if !checksum(dst).Equal(want) {
+		t.Fatal("strided merge changed multiset")
+	}
+}
+
+func TestLoserTreeMatchesHeapMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		k := 3 + rng.Intn(14)
+		per := 1 + rng.Intn(40)
+		n := k * per
+		src := record.Make(n, 16)
+		fillRandom(src, uint64(trial))
+		runs := ContiguousRuns(n, k)
+		for i := 0; i < k; i++ {
+			Sort(src.Sub(i*per, (i+1)*per))
+		}
+		a := record.Make(n, 16)
+		b := record.Make(n, 16)
+		MergeRunsInto(a, src, runs)
+		heapMergeRunsInto(b, src, runs)
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				t.Fatalf("trial %d: loser tree and heap merge disagree at byte %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestMergeRunsWithEmptyRuns(t *testing.T) {
+	src := record.Make(10, 16)
+	fillRandom(src, 8)
+	Sort(src)
+	runs := []Run{Contiguous(0, 4), {Start: 4, Stride: 1, Count: 0}, Contiguous(4, 6), {Start: 0, Stride: 1, Count: 0}}
+	dst := record.Make(10, 16)
+	MergeRunsInto(dst, src, runs)
+	if !dst.IsSorted() {
+		t.Fatal("merge with empty runs failed")
+	}
+}
+
+func TestMergeRunsCoverageMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on bad run coverage")
+		}
+	}()
+	src := record.Make(10, 16)
+	dst := record.Make(10, 16)
+	MergeRunsInto(dst, src, []Run{Contiguous(0, 4)})
+}
+
+func TestRunValidatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range run")
+		}
+	}()
+	src := record.Make(4, 16)
+	dst := record.Make(4, 16)
+	MergeRunsInto(dst, src, []Run{{Start: 0, Stride: 2, Count: 4}})
+}
+
+func TestDetectRuns(t *testing.T) {
+	s := record.Make(9, 16)
+	keys := []uint64{1, 3, 5, 2, 4, 0, 9, 9, 9}
+	for i, k := range keys {
+		s.SetKey(i, k)
+	}
+	runs := DetectRuns(s)
+	want := []Run{Contiguous(0, 3), Contiguous(3, 2), Contiguous(5, 4)}
+	if len(runs) != len(want) {
+		t.Fatalf("got %d runs %v, want %v", len(runs), runs, want)
+	}
+	for i := range runs {
+		if runs[i] != want[i] {
+			t.Fatalf("run %d = %+v, want %+v", i, runs[i], want[i])
+		}
+	}
+	if got := DetectRuns(record.Make(0, 16)); got != nil {
+		t.Fatal("DetectRuns on empty should be nil")
+	}
+}
+
+func TestDetectRunsThenMergeEqualsSort(t *testing.T) {
+	f := func(keys []uint64) bool {
+		src := record.Make(len(keys), 16)
+		for i, k := range keys {
+			src.SetKey(i, k)
+		}
+		dst := record.Make(len(keys), 16)
+		if len(keys) == 0 {
+			return true
+		}
+		MergeRunsInto(dst, src, DetectRuns(src))
+		return dst.IsSorted()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if Intro.String() != "intro" || Radix.String() != "radix" ||
+		Heap.String() != "heap" || Insertion.String() != "insertion" {
+		t.Fatal("Algorithm.String wrong")
+	}
+	if Algorithm(99).String() != "Algorithm(99)" {
+		t.Fatal("unknown Algorithm.String wrong")
+	}
+}

@@ -1,0 +1,144 @@
+// Package verify checks the outputs of the out-of-core sorters: global
+// sortedness in column-major (PDM) order and multiset preservation, both
+// computed streaming so that verification itself stays out-of-core (never
+// more than one column portion in memory).
+package verify
+
+import (
+	"fmt"
+
+	"colsort/internal/pdm"
+	"colsort/internal/record"
+	"colsort/internal/sim"
+)
+
+// Error describes a verification failure with enough position information
+// to debug a missorted run.
+type Error struct {
+	Kind   string
+	Column int
+	Row    int
+	Detail string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("verify: %s at column %d row %d: %s", e.Kind, e.Column, e.Row, e.Detail)
+}
+
+// StoreSorted checks that the store's contents are sorted in column-major
+// order: within each column and across each column boundary. For the
+// ColumnOwned layout this is exactly the PDM striped ordering of footnote 6
+// (columns are the stripe blocks, assigned round-robin to disks).
+func StoreSorted(st *pdm.Store) error {
+	var cnt sim.Counters
+	var lastValid bool
+	last := record.Make(1, st.RecSize)
+	for j := 0; j < st.S; j++ {
+		for p := 0; p < st.P; p++ {
+			lo, hi := st.OwnedRows(p, j)
+			if lo == hi {
+				continue
+			}
+			chunk := record.Make(hi-lo, st.RecSize)
+			if err := st.ReadRows(&cnt, p, j, lo, chunk); err != nil {
+				return err
+			}
+			for i := 0; i < chunk.Len(); i++ {
+				if lastValid && record.Compare(chunk, i, last, 0) < 0 {
+					return &Error{Kind: "order violation", Column: j, Row: lo + i,
+						Detail: fmt.Sprintf("key %x follows %x", chunk.Key(i), last.Key(0))}
+				}
+				last.CopyRecord(0, chunk, i)
+				lastValid = true
+			}
+		}
+	}
+	return nil
+}
+
+// Multiset checks that the store holds exactly the claimed multiset of
+// records.
+func Multiset(st *pdm.Store, want record.Checksum) error {
+	got, err := st.Checksum()
+	if err != nil {
+		return err
+	}
+	if !got.Equal(want) {
+		return &Error{Kind: "multiset violation",
+			Detail: fmt.Sprintf("checksum (count=%d sum=%x) != expected (count=%d sum=%x)",
+				got.Count, got.Sum, want.Count, want.Sum)}
+	}
+	return nil
+}
+
+// Output runs both checks; it is the standard postcondition of every sorter
+// test and of the cmd/colsort verify subcommand.
+func Output(st *pdm.Store, want record.Checksum) error {
+	if err := Multiset(st, want); err != nil {
+		return err
+	}
+	return StoreSorted(st)
+}
+
+// OutputPrefix checks a padded sort: the first n records (in column-major
+// order) must be sorted and match the claimed multiset, and every record
+// after them must be an all-0xFF pad. Pads carry the maximum key and the
+// maximum payload, so they sort after (or byte-identically among) all real
+// records, making prefix trimming exact. Used by the non-power-of-two
+// support in the public API.
+func OutputPrefix(st *pdm.Store, n int64, want record.Checksum) error {
+	var cnt sim.Counters
+	var got record.Checksum
+	var lastValid bool
+	last := record.Make(1, st.RecSize)
+	var seen int64
+	for j := 0; j < st.S; j++ {
+		for p := 0; p < st.P; p++ {
+			lo, hi := st.OwnedRows(p, j)
+			if lo == hi {
+				continue
+			}
+			chunk := record.Make(hi-lo, st.RecSize)
+			if err := st.ReadRows(&cnt, p, j, lo, chunk); err != nil {
+				return err
+			}
+			for i := 0; i < chunk.Len(); i++ {
+				rec := chunk.Record(i)
+				if seen < n {
+					if lastValid && record.Compare(chunk, i, last, 0) < 0 {
+						return &Error{Kind: "order violation", Column: j, Row: lo + i,
+							Detail: fmt.Sprintf("key %x follows %x", chunk.Key(i), last.Key(0))}
+					}
+					last.CopyRecord(0, chunk, i)
+					lastValid = true
+					got.Add(rec)
+				} else {
+					for _, b := range rec {
+						if b != 0xff {
+							return &Error{Kind: "pad violation", Column: j, Row: lo + i,
+								Detail: "non-pad record beyond the real prefix"}
+						}
+					}
+				}
+				seen++
+			}
+		}
+	}
+	if !got.Equal(want) {
+		return &Error{Kind: "multiset violation",
+			Detail: fmt.Sprintf("prefix checksum (count=%d) != expected (count=%d)", got.Count, want.Count)}
+	}
+	return nil
+}
+
+// SliceSorted checks an in-memory snapshot; a convenience for tests.
+func SliceSorted(s record.Slice) error {
+	n := s.Len()
+	for i := 1; i < n; i++ {
+		if s.Less(i, i-1) {
+			return &Error{Kind: "order violation", Row: i,
+				Detail: fmt.Sprintf("key %x follows %x", s.Key(i), s.Key(i-1))}
+		}
+	}
+	return nil
+}
