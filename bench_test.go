@@ -75,19 +75,43 @@ func BenchmarkE5SubblockComm(b *testing.B) {
 }
 
 // BenchmarkE6InCore compares the three distributed in-core sorts at a
-// sort-stage-representative size (experiment E6).
+// sort-stage-representative size (experiment E6). Each rank keeps a buffer
+// pool and sort scratch across iterations, as the M-columnsort pipeline
+// does, so the numbers reflect the steady-state hot path.
 func BenchmarkE6InCore(b *testing.B) {
 	const p, n, z = 8, 1 << 14, 64
-	for _, s := range []incore.Sorter{incore.Columnsort{}, incore.Radix{}, incore.Bitonic{}} {
-		b.Run(s.Name(), func(b *testing.B) {
+	mkSorters := func(pools []*record.Pool, scratches []sortalg.Scratch) map[string]func(rank int) incore.Sorter {
+		return map[string]func(rank int) incore.Sorter{
+			incore.Columnsort{}.Name(): func(rank int) incore.Sorter {
+				return incore.Columnsort{Pool: pools[rank], Scratch: &scratches[rank]}
+			},
+			incore.Radix{}.Name(): func(rank int) incore.Sorter {
+				return incore.Radix{Pool: pools[rank]}
+			},
+			incore.Bitonic{}.Name(): func(rank int) incore.Sorter {
+				return incore.Bitonic{Pool: pools[rank], Scratch: &scratches[rank]}
+			},
+		}
+	}
+	for _, name := range []string{incore.Columnsort{}.Name(), incore.Radix{}.Name(), incore.Bitonic{}.Name()} {
+		b.Run(name, func(b *testing.B) {
+			pools := make([]*record.Pool, p)
+			for i := range pools {
+				pools[i] = record.NewPool()
+			}
+			scratches := make([]sortalg.Scratch, p)
+			mk := mkSorters(pools, scratches)[name]
 			b.SetBytes(int64(p) * int64(n) * int64(z))
+			b.ResetTimer()
 			var netBytes int64
 			for i := 0; i < b.N; i++ {
 				cnts := make([]sim.Counters, p)
 				err := cluster.Run(p, func(pr *cluster.Proc) error {
-					local := record.Make(n, z)
-					record.Fill(local, record.Uniform{Seed: uint64(i)}, int64(pr.Rank())*int64(n))
-					_, err := s.Sort(pr, &cnts[pr.Rank()], 0, local)
+					rank := pr.Rank()
+					local := pools[rank].Get(n, z)
+					record.Fill(local, record.Uniform{Seed: uint64(i)}, int64(rank)*int64(n))
+					out, err := mk(rank).Sort(pr, &cnts[rank], 0, local)
+					pools[rank].Put(out)
 					return err
 				})
 				if err != nil {
@@ -197,10 +221,11 @@ func BenchmarkLocalSort(b *testing.B) {
 				src := record.Make(n, z)
 				dst := record.Make(n, z)
 				record.Fill(src, record.Uniform{Seed: 1}, 0)
+				var sc sortalg.Scratch // the pipeline's steady-state path
 				b.SetBytes(int64(n) * int64(z))
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					sortalg.SortIntoAlg(dst, src, alg)
+					sc.SortIntoAlg(dst, src, alg)
 				}
 			})
 		}
@@ -218,10 +243,11 @@ func BenchmarkMergeRuns(b *testing.B) {
 			}
 			dst := record.Make(n, 16)
 			runs := sortalg.ContiguousRuns(n, k)
+			var sc sortalg.Scratch
 			b.SetBytes(int64(n) * 16)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				sortalg.MergeRunsInto(dst, src, runs)
+				sc.MergeRunsInto(dst, src, runs)
 			}
 		})
 	}

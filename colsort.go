@@ -92,7 +92,8 @@ func New(cfg Config) (*Sorter, error) {
 	if err := record.CheckSize(cfg.RecordSize); err != nil {
 		return nil, err
 	}
-	m := pdm.Machine{P: cfg.Procs, D: cfg.Disks, StripeBytes: cfg.StripeBytes}
+	m := pdm.Machine{P: cfg.Procs, D: cfg.Disks, StripeBytes: cfg.StripeBytes,
+		Pools: record.NewPools(cfg.Procs)}
 	if cfg.Dir != "" {
 		m.Backend = pdm.FileBackend{Dir: cfg.Dir}
 	}

@@ -1,0 +1,3 @@
+module colsort
+
+go 1.24

@@ -38,18 +38,14 @@ type message struct {
 
 // mailbox queues messages from one source processor to one destination,
 // matched by tag. A condition variable rather than a channel because
-// receivers select by tag, not by arrival order.
+// receivers select by tag, not by arrival order. The pending map is
+// created on first use: a cluster has P² mailboxes and sparse patterns
+// (bitonic exchanges, targeted subblock sends) leave many untouched.
 type mailbox struct {
 	mu      sync.Mutex
-	cond    *sync.Cond
+	cond    sync.Cond
 	pending map[int][]record.Slice // tag → FIFO queue
 	closed  bool
-}
-
-func newMailbox() *mailbox {
-	mb := &mailbox{pending: make(map[int][]record.Slice)}
-	mb.cond = sync.NewCond(&mb.mu)
-	return mb
 }
 
 func (mb *mailbox) put(tag int, recs record.Slice) error {
@@ -57,6 +53,9 @@ func (mb *mailbox) put(tag int, recs record.Slice) error {
 	defer mb.mu.Unlock()
 	if mb.closed {
 		return ErrAborted
+	}
+	if mb.pending == nil {
+		mb.pending = make(map[int][]record.Slice)
 	}
 	mb.pending[tag] = append(mb.pending[tag], recs)
 	mb.cond.Broadcast()
@@ -93,7 +92,7 @@ func (mb *mailbox) close() {
 // Cluster is the shared communication fabric of P processors.
 type Cluster struct {
 	p     int
-	boxes [][]*mailbox // boxes[dst][src]
+	boxes []mailbox // P² mailboxes, box(dst, src) = boxes[dst·P+src]
 
 	barrierMu  sync.Mutex
 	barrierCnt int
@@ -104,22 +103,24 @@ type Cluster struct {
 	aborted   bool
 }
 
-// New builds a cluster fabric for p processors.
+// New builds a cluster fabric for p processors. The whole fabric is two
+// allocations — a run constructs one per sort, so setup must not scale
+// with P² allocator calls.
 func New(p int) *Cluster {
 	if p < 1 {
 		panic(fmt.Sprintf("cluster: need at least one processor, got %d", p))
 	}
-	c := &Cluster{p: p}
-	c.boxes = make([][]*mailbox, p)
-	for d := range c.boxes {
-		c.boxes[d] = make([]*mailbox, p)
-		for s := range c.boxes[d] {
-			c.boxes[d][s] = newMailbox()
-		}
+	c := &Cluster{p: p, boxes: make([]mailbox, p*p)}
+	for i := range c.boxes {
+		mb := &c.boxes[i]
+		mb.cond.L = &mb.mu
 	}
 	c.barrierCv = sync.NewCond(&c.barrierMu)
 	return c
 }
+
+// box returns the mailbox holding messages from src destined to dst.
+func (c *Cluster) box(dst, src int) *mailbox { return &c.boxes[dst*c.p+src] }
 
 // P returns the number of processors.
 func (c *Cluster) P() int { return c.p }
@@ -132,10 +133,8 @@ func (c *Cluster) abort() {
 		c.aborted = true
 		c.barrierCv.Broadcast()
 		c.barrierMu.Unlock()
-		for _, row := range c.boxes {
-			for _, mb := range row {
-				mb.close()
-			}
+		for i := range c.boxes {
+			c.boxes[i].close()
 		}
 	})
 }
@@ -168,7 +167,7 @@ func (pr *Proc) Send(cnt *sim.Counters, dst, tag int, recs record.Slice) error {
 			cnt.NetMsgs++
 		}
 	}
-	return pr.c.boxes[dst][pr.rank].put(tag, recs)
+	return pr.c.box(dst, pr.rank).put(tag, recs)
 }
 
 // Recv blocks until a message from src with the given tag arrives and
@@ -178,7 +177,7 @@ func (pr *Proc) Recv(src, tag int) (record.Slice, error) {
 	if src < 0 || src >= pr.c.p {
 		return record.Slice{}, fmt.Errorf("cluster: recv from rank %d of %d", src, pr.c.p)
 	}
-	return pr.c.boxes[pr.rank][src].get(tag)
+	return pr.c.box(pr.rank, src).get(tag)
 }
 
 // Barrier blocks until all P processors have entered it. The out-of-core
@@ -211,7 +210,8 @@ func (pr *Proc) Barrier() error {
 // the communicate stages: out[q] is sent to processor q, and the returned
 // slice holds in[q] received from every q (including this processor's own
 // contribution, which never touches the network). All processors must call
-// it with the same tag.
+// it with the same tag. The returned header array comes from the shared
+// header free list; callers done with it may record.PutHeaders it.
 func (pr *Proc) AllToAll(cnt *sim.Counters, tag int, out []record.Slice) ([]record.Slice, error) {
 	if len(out) != pr.c.p {
 		return nil, fmt.Errorf("cluster: all-to-all with %d buffers on %d processors", len(out), pr.c.p)
@@ -221,7 +221,7 @@ func (pr *Proc) AllToAll(cnt *sim.Counters, tag int, out []record.Slice) ([]reco
 			return nil, err
 		}
 	}
-	in := make([]record.Slice, pr.c.p)
+	in := record.GetHeaders(pr.c.p)
 	for q := 0; q < pr.c.p; q++ {
 		recs, err := pr.Recv(q, tag)
 		if err != nil {

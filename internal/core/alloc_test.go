@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"colsort/internal/matrix"
+	"colsort/internal/record"
+)
+
+// TestPatternPlansMatchNaiveReplay verifies the precomputed tables against
+// the definition they compile: scanning the sorted column record by record.
+func TestPatternPlansMatchNaiveReplay(t *testing.T) {
+	const r, s, P, p = 256, 16, 4, 1
+	destCol := func(i, j int) int { return matrix.Step2ColOf(r, s, i) }
+
+	var sp sendPlan
+	sp.build(destCol, 0, r, P)
+	counts := make([]int, P)
+	pos := 0
+	for _, e := range sp.exts {
+		for k := 0; k < int(e.count); k++ {
+			if want := destCol(pos, 0) % P; int(e.dst) != want {
+				t.Fatalf("send extent at position %d routes to %d, want %d", pos, e.dst, want)
+			}
+			counts[e.dst]++
+			pos++
+		}
+	}
+	if pos != r {
+		t.Fatalf("send extents cover %d of %d positions", pos, r)
+	}
+	for d := range counts {
+		if counts[d] != sp.counts[d] {
+			t.Fatalf("send counts[%d] = %d, extents say %d", d, sp.counts[d], counts[d])
+		}
+	}
+
+	var rp recvPlan
+	rp.build(destCol, 0, r, s/P, P, p)
+	wantTotal := 0
+	for i := 0; i < r; i++ {
+		if destCol(i, 0)%P == p {
+			wantTotal++
+		}
+	}
+	if rp.total != wantTotal {
+		t.Fatalf("recv total = %d, want %d", rp.total, wantTotal)
+	}
+	// Replaying the extents must visit exactly the kept positions' slots,
+	// in source order.
+	i := 0
+	for _, e := range rp.exts {
+		for k := 0; k < int(e.count); k++ {
+			for destCol(i, 0)%P != p {
+				i++
+			}
+			if want := destCol(i, 0) / P; int(e.dst) != want {
+				t.Fatalf("recv extent at kept position %d targets slot %d, want %d", i, e.dst, want)
+			}
+			i++
+		}
+	}
+}
+
+// TestScatterRoundWarmAllocs pins the steady-state property of the scatter
+// hot path: with built plans and a warm pool, one communicate-style pack
+// plus one permute-style replay performs no allocator work at all.
+func TestScatterRoundWarmAllocs(t *testing.T) {
+	const r, s, P, p, z = 512, 16, 4, 1, 64
+	destCol := func(i, j int) int { return matrix.Step4ColOf(r, s, i) }
+	var sp sendPlan
+	var rp recvPlan
+	sp.build(destCol, 0, r, P)
+	rp.build(destCol, 0, r, s/P, P, p)
+
+	pool := record.NewPool()
+	col := record.Make(r, z)
+	record.Fill(col, record.Uniform{Seed: 5}, 0)
+	fill := make([]int32, P)
+	fills := make([]int32, s/P)
+
+	oneRound := func() {
+		// Communicate: pack per destination processor.
+		outMsgs := record.GetHeaders(P)
+		for d := 0; d < P; d++ {
+			outMsgs[d] = pool.Get(sp.counts[d], z)
+			fill[d] = 0
+		}
+		replayExtents(outMsgs, fill, col, sp.exts, z)
+		// Permute: replay one incoming message into per-column writes.
+		msg := outMsgs[p]
+		writes := record.GetHeaders(s / P)
+		for k := range writes {
+			if rp.counts[k] > 0 {
+				writes[k] = pool.Get(int(rp.counts[k]), z)
+			}
+			fills[k] = 0
+		}
+		replayExtents(writes, fills, msg, rp.exts, z)
+		for k := range writes {
+			pool.Put(writes[k])
+		}
+		record.PutHeaders(writes)
+		for d := 0; d < P; d++ {
+			pool.Put(outMsgs[d])
+		}
+		record.PutHeaders(outMsgs)
+	}
+
+	oneRound() // warm the pool and header free list
+	allocs := testing.AllocsPerRun(10, oneRound)
+	if allocs != 0 {
+		t.Errorf("%v allocs per warm scatter round, want 0", allocs)
+	}
+}
+
+// TestPlanBuildWarmAllocs pins that rebuilding a plan per round (the
+// column-dependent passes) reuses its backing arrays.
+func TestPlanBuildWarmAllocs(t *testing.T) {
+	const r, s, P, p = 512, 16, 4, 2
+	destCol := func(i, j int) int { return (i + j) % s }
+	var sp sendPlan
+	var rp recvPlan
+	sp.build(destCol, 0, r, P)
+	rp.build(destCol, 0, r, s/P, P, p)
+	allocs := testing.AllocsPerRun(10, func() {
+		sp.build(destCol, 3, r, P)
+		rp.build(destCol, 3, r, s/P, P, p)
+	})
+	if allocs != 0 {
+		t.Errorf("%v allocs per warm plan rebuild, want 0", allocs)
+	}
+}

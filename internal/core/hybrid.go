@@ -11,6 +11,7 @@ import (
 	"colsort/internal/pipeline"
 	"colsort/internal/record"
 	"colsort/internal/sim"
+	"colsort/internal/sortalg"
 )
 
 // Hybrid group columnsort realizes the paper's second future-work item
@@ -70,7 +71,9 @@ func NewHybridPlan(n int64, p, d, memPerProc, recSize, g int) (Plan, error) {
 
 const hybridTagStride = 4 * incore.TagSpan
 
-// hybridSpec is one hybrid distribution pass (steps 1–2 or 3–4).
+// hybridSpec is one hybrid distribution pass (steps 1–2 or 3–4). Both maps
+// depend only on the sorted rank — never on the source column — so every
+// distribution table is computed once per pass.
 type hybridSpec struct {
 	name    string
 	destCol func(rank int64) int   // target column of a sorted rank
@@ -80,7 +83,7 @@ type hybridSpec struct {
 // runHybridScatterPass: per round, each group reads one of its columns,
 // sorts it with the in-group distributed columnsort, and scatters records
 // to the blocks of the target columns' owners across all groups.
-func runHybridScatterPass(pr *cluster.Proc, pl Plan, spec hybridSpec, in, out *pdm.Store, tagBase int, cnt *sim.Counters) error {
+func runHybridScatterPass(pr *cluster.Proc, pl Plan, spec hybridSpec, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters) error {
 	q := pr.Rank()
 	P, g := pl.P, pl.Group
 	ng := P / g
@@ -91,7 +94,6 @@ func runHybridScatterPass(pr *cluster.Proc, pl Plan, spec hybridSpec, in, out *p
 	c := r / s
 	share := c / g
 	rounds := s / ng
-	sorter := incore.Columnsort{}
 
 	grp, err := cluster.ContiguousGroup(pr, a*g, g)
 	if err != nil {
@@ -99,18 +101,57 @@ func runHybridScatterPass(pr *cluster.Proc, pl Plan, spec hybridSpec, in, out *p
 	}
 
 	var cRead, cSort, cComm, cWrite sim.Counters
-	written := make(map[int]int) // per owned target column, block-local rows written
+	written := make([]int, s) // per target column, block-local rows written
 
 	type round struct {
 		t, col int
 		buf    record.Slice
 		// perCol holds, per target column, this round's arrival chunk
-		// (ng·share records) and its block-local start position.
-		perCol map[int]record.Slice
+		// (ng·share records); nil entries receive nothing.
+		perCol []record.Slice
+	}
+
+	dest := func(gi int64) (proc int, tj int) {
+		tj = spec.destCol(gi)
+		k := spec.occ(gi)
+		return (tj%ng)*g + int(k/int64(share)), tj
+	}
+
+	// Distribution tables, once per pass: the send plan packs my sorted
+	// rank block [lo, lo+rb) per destination processor; keepPlans[m']
+	// replays source member m's rank range, keeping the records destined
+	// here and mapping them to target columns. Sources with the same
+	// in-group position share a rank range, hence a plan.
+	var sendPl sendPlan
+	sendPl.build(func(i, _ int) int { d, _ := dest(int64(lo) + int64(i)); return d }, 0, rb, P)
+	keepPlans := make([]colPlan, g)
+	for mm := 0; mm < g; mm++ {
+		kp := &keepPlans[mm]
+		kp.reset(s)
+		srcLo := int64(mm) * int64(rb)
+		for i := 0; i < rb; i++ {
+			gi := srcLo + int64(i)
+			if d, tj := dest(gi); d == q {
+				kp.add(tj)
+			}
+		}
+	}
+	// Every target column a round touches must receive exactly its
+	// ng·share-record chunk; validated once here instead of per round.
+	colTotal := make([]int32, s)
+	for src := 0; src < P; src++ {
+		for tj, c := range keepPlans[src%g].counts {
+			colTotal[tj] += c
+		}
+	}
+	for tj, n := range colTotal {
+		if n != 0 && int(n) != ng*share {
+			return fmt.Errorf("core: %s: column %d would receive %d of %d records per round", spec.name, tj, n, ng*share)
+		}
 	}
 
 	read := func(rd round) (round, error) {
-		rd.buf = record.Make(rb, z)
+		rd.buf = pool.Get(rb, z)
 		if err := in.ReadRows(&cRead, q, rd.col, lo, rd.buf); err != nil {
 			return rd, err
 		}
@@ -118,6 +159,8 @@ func runHybridScatterPass(pr *cluster.Proc, pl Plan, spec hybridSpec, in, out *p
 		return rd, nil
 	}
 
+	var sortSc sortalg.Scratch
+	sorter := incore.Columnsort{Pool: pool, Scratch: &sortSc}
 	sortStage := func(rd round) (round, error) {
 		sorted, err := sorter.Sort(grp, &cSort, tagBase+rd.t*hybridTagStride, rd.buf)
 		if err != nil {
@@ -127,33 +170,22 @@ func runHybridScatterPass(pr *cluster.Proc, pl Plan, spec hybridSpec, in, out *p
 		return rd, nil
 	}
 
-	dest := func(gi int64) (proc int, tj int) {
-		tj = spec.destCol(gi)
-		k := spec.occ(gi)
-		return (tj%ng)*g + int(k/int64(share)), tj
-	}
-
+	fill := make([]int32, P)
+	fillCol := make([]int32, s)
 	distribute := func(rd round) (round, error) {
 		// Pack per destination processor, in rank order.
-		counts := make([]int, P)
-		for i := 0; i < rb; i++ {
-			d, _ := dest(int64(lo) + int64(i))
-			counts[d]++
-		}
-		outMsgs := make([]record.Slice, P)
-		fill := make([]int, P)
+		outMsgs := record.GetHeaders(P)
 		for d := 0; d < P; d++ {
-			outMsgs[d] = record.Make(counts[d], z)
+			outMsgs[d] = pool.Get(sendPl.counts[d], z)
+			fill[d] = 0
 		}
-		for i := 0; i < rb; i++ {
-			d, _ := dest(int64(lo) + int64(i))
-			outMsgs[d].CopyRecord(fill[d], rd.buf, i)
-			fill[d]++
-		}
+		replayExtents(outMsgs, fill, rd.buf, sendPl.exts, z)
 		cComm.MovedBytes += int64(rb * z)
+		pool.Put(rd.buf)
 		rd.buf = record.Slice{}
 		tag := tagBase + rd.t*hybridTagStride + incore.TagSpan
 		inMsgs, err := pr.AllToAll(&cComm, tag, outMsgs)
+		record.PutHeaders(outMsgs)
 		if err != nil {
 			return rd, err
 		}
@@ -161,55 +193,42 @@ func runHybridScatterPass(pr *cluster.Proc, pl Plan, spec hybridSpec, in, out *p
 		// Replay every source's rank range in order; my arrivals for each
 		// target column land contiguously in (source group, occurrence)
 		// order — one block-local segment per column per round.
-		rd.perCol = make(map[int]record.Slice)
-		fills := make(map[int]int)
-		next := make([]int, P)
+		rd.perCol = record.GetHeaders(s)
+		for tj := 0; tj < s; tj++ {
+			if colTotal[tj] > 0 {
+				rd.perCol[tj] = pool.Get(ng*share, z)
+			}
+			fillCol[tj] = 0
+		}
 		for src := 0; src < P; src++ {
 			msg := inMsgs[src]
-			srcLo := int64(src%g) * int64(rb)
-			for i := 0; i < rb; i++ {
-				gi := srcLo + int64(i)
-				d, tj := dest(gi)
-				if d != q {
-					continue
-				}
-				buf, ok := rd.perCol[tj]
-				if !ok {
-					buf = record.Make(ng*share, z)
-					rd.perCol[tj] = buf
-				}
-				if next[src] >= msg.Len() {
-					return rd, fmt.Errorf("core: %s: message from %d shorter than pattern", spec.name, src)
-				}
-				buf.CopyRecord(fills[tj], msg, next[src])
-				fills[tj]++
-				next[src]++
+			kp := &keepPlans[src%g]
+			if msg.Len() != kp.total {
+				return rd, fmt.Errorf("core: %s: message from %d has %d records, pattern wants %d",
+					spec.name, src, msg.Len(), kp.total)
 			}
-			if msg.Data != nil && next[src] != msg.Len() {
-				return rd, fmt.Errorf("core: %s: message from %d has %d records, pattern used %d",
-					spec.name, src, msg.Len(), next[src])
-			}
+			replayExtents(rd.perCol, fillCol, msg, kp.exts, z)
 			cComm.MovedBytes += int64(msg.Len() * z)
+			pool.Put(msg)
 		}
-		for tj, n := range fills {
-			if n != ng*share {
-				return rd, fmt.Errorf("core: %s: column %d received %d of %d records this round", spec.name, tj, n, ng*share)
-			}
-		}
+		record.PutHeaders(inMsgs)
 		return rd, nil
 	}
 
 	write := func(rd round) error {
 		for tj := 0; tj < s; tj++ {
-			chunk, ok := rd.perCol[tj]
-			if !ok {
+			chunk := rd.perCol[tj]
+			if chunk.Data == nil || chunk.Len() == 0 {
 				continue
 			}
 			if err := out.WriteRows(&cWrite, q, tj, lo+written[tj], chunk); err != nil {
 				return err
 			}
 			written[tj] += chunk.Len()
+			pool.Put(chunk)
 		}
+		record.PutHeaders(rd.perCol)
+		rd.perCol = nil
 		return nil
 	}
 
@@ -230,7 +249,7 @@ func runHybridScatterPass(pr *cluster.Proc, pl Plan, spec hybridSpec, in, out *p
 		return fmt.Errorf("core: %s pass: %w", spec.name, err)
 	}
 	for tj, n := range written {
-		if n != rb {
+		if n != 0 && n != rb {
 			return fmt.Errorf("core: %s pass: block of column %d received %d of %d records", spec.name, tj, n, rb)
 		}
 	}
@@ -243,7 +262,7 @@ func runHybridScatterPass(pr *cluster.Proc, pl Plan, spec hybridSpec, in, out *p
 // arrive from the left-hand group, top pieces shift within the group), the
 // group sorts O, and a rotation returns each final half-column to the
 // owners of its rows for true-order writes.
-func runHybridMergePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, tagBase int, cnt *sim.Counters) error {
+func runHybridMergePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters) error {
 	q := pr.Rank()
 	P, g := pl.P, pl.Group
 	ng := P / g
@@ -253,7 +272,6 @@ func runHybridMergePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, tagBase i
 	lo := m * rb
 	h2 := g / 2
 	rounds := s / ng
-	sorter := incore.Columnsort{}
 
 	grp, err := cluster.ContiguousGroup(pr, a*g, g)
 	if err != nil {
@@ -277,7 +295,7 @@ func runHybridMergePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, tagBase i
 	}
 
 	read := func(rd round) (round, error) {
-		rd.buf = record.Make(rb, z)
+		rd.buf = pool.Get(rb, z)
 		if err := in.ReadRows(&cRead, q, rd.col, lo, rd.buf); err != nil {
 			return rd, err
 		}
@@ -285,6 +303,8 @@ func runHybridMergePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, tagBase i
 		return rd, nil
 	}
 
+	var sortSc sortalg.Scratch
+	sorter := incore.Columnsort{Pool: pool, Scratch: &sortSc}
 	sortStage := func(rd round) (round, error) {
 		sorted, err := sorter.Sort(grp, &cSort, tagBase+rd.t*hybridTagStride, rd.buf)
 		if err != nil {
@@ -294,6 +314,8 @@ func runHybridMergePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, tagBase i
 		return rd, nil
 	}
 
+	var boundSc sortalg.Scratch
+	boundSorter := incore.Columnsort{Pool: pool, Scratch: &boundSc}
 	boundary := func(rd round) (round, error) {
 		j := rd.t*ng + a
 		left := (a - 1 + ng) % ng
@@ -335,7 +357,7 @@ func runHybridMergePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, tagBase i
 			if err != nil {
 				return rd, err
 			}
-			sortedO, err := sorter.Sort(grp, &cBound, tagBase+rd.t*hybridTagStride+2*incore.TagSpan, oPiece)
+			sortedO, err := boundSorter.Sort(grp, &cBound, tagBase+rd.t*hybridTagStride+2*incore.TagSpan, oPiece)
 			if err != nil {
 				return rd, err
 			}
@@ -375,6 +397,7 @@ func runHybridMergePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, tagBase i
 			if err := out.WriteRows(&cWrite, q, rd.col, rd.rows[k], recs); err != nil {
 				return err
 			}
+			pool.Put(recs)
 		}
 		return nil
 	}

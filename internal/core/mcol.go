@@ -9,6 +9,7 @@ import (
 	"colsort/internal/pipeline"
 	"colsort/internal/record"
 	"colsort/internal/sim"
+	"colsort/internal/sortalg"
 )
 
 // M-columnsort (Section 4) reinterprets the column height as r = M: every
@@ -37,6 +38,9 @@ type mcolSpec struct {
 	// destCol maps a global sorted rank within source column j to its
 	// target column.
 	destCol func(rank int64, j int) int
+	// colInvariant marks destCol as independent of j, letting the
+	// distribution tables be computed once per pass.
+	colInvariant bool
 	// redistribute is true for passes whose rank blocks do not evenly
 	// cover the target columns (step 4).
 	redistribute bool
@@ -50,13 +54,12 @@ type mcolSpec struct {
 const mcolTagStride = 4 * incore.TagSpan
 
 // runMColScatterPass executes one M-columnsort distribution pass.
-func runMColScatterPass(pr *cluster.Proc, pl Plan, spec mcolSpec, in, out *pdm.Store, tagBase int, cnt *sim.Counters) error {
+func runMColScatterPass(pr *cluster.Proc, pl Plan, spec mcolSpec, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters) error {
 	q := pr.Rank()
 	P := pl.P
 	r, s, z := pl.R, pl.S, pl.Z
 	rb := r / P
 	lo := q * rb
-	sorter := incore.Columnsort{}
 
 	if spec.chunk%P != 0 {
 		return fmt.Errorf("core: %s: per-round chunk %d not divisible by P=%d", spec.name, spec.chunk, P)
@@ -70,11 +73,11 @@ func runMColScatterPass(pr *cluster.Proc, pl Plan, spec mcolSpec, in, out *pdm.S
 		j   int // column index == round index
 		buf record.Slice
 		// perCol[tj] holds this processor's arrival chunk for column tj.
-		perCol map[int]record.Slice
+		perCol []record.Slice
 	}
 
 	read := func(rd round) (round, error) {
-		rd.buf = record.Make(rb, z)
+		rd.buf = pool.Get(rb, z)
 		if err := in.ReadRows(&cRead, q, rd.j, lo, rd.buf); err != nil {
 			return rd, err
 		}
@@ -82,6 +85,8 @@ func runMColScatterPass(pr *cluster.Proc, pl Plan, spec mcolSpec, in, out *pdm.S
 		return rd, nil
 	}
 
+	var sortSc sortalg.Scratch
+	sorter := incore.Columnsort{Pool: pool, Scratch: &sortSc}
 	sortStage := func(rd round) (round, error) {
 		sorted, err := sorter.Sort(pr, &cSort, tagBase+rd.j*mcolTagStride, rd.buf)
 		if err != nil {
@@ -91,118 +96,166 @@ func runMColScatterPass(pr *cluster.Proc, pl Plan, spec mcolSpec, in, out *pdm.S
 		return rd, nil
 	}
 
+	// Route each record to the processor owning its destination block:
+	// rank gi belongs to target column tj with occurrence index
+	// k = gi mod chunk — its position within tj's records this round, which
+	// are exactly the contiguous ranks [tj·chunk, (tj+1)·chunk).
+	// Owner = k ÷ share. Both sides compute k from the rank itself so the
+	// pattern agrees even when a processor's rank block straddles column
+	// chunks (s < P).
+	destOf := func(gi int64) int {
+		return int((gi % int64(spec.chunk)) / int64(share))
+	}
+
+	// Distribution tables. The redistribution routing pattern depends only
+	// on ranks, so its send plan and per-source keep patterns are always
+	// once-per-pass; the target-column map shares that luxury only when it
+	// is column-invariant.
+	var packPlan sendPlan
+	var keepPlans []colPlan // per source processor, ranks this processor keeps
+	if spec.redistribute {
+		packPlan.build(func(i, _ int) int { return destOf(int64(lo) + int64(i)) }, 0, rb, P)
+		if spec.colInvariant {
+			keepPlans = make([]colPlan, P)
+			for src := 0; src < P; src++ {
+				kp := &keepPlans[src]
+				kp.reset(s)
+				srcLo := int64(src) * int64(rb)
+				for i := 0; i < rb; i++ {
+					if gi := srcLo + int64(i); destOf(gi) == q {
+						kp.add(spec.destCol(gi, 0))
+					}
+				}
+			}
+		}
+	}
+	var directPlan colPlan
+	if !spec.redistribute && spec.colInvariant {
+		directPlan.reset(s)
+		for i := 0; i < rb; i++ {
+			directPlan.add(spec.destCol(int64(lo)+int64(i), 0))
+		}
+	}
+
+	fill := make([]int32, P)
+	fillCol := make([]int32, s)
+	colCounts := make([]int32, s)
+	// Stage scratch for column-dependent maps, rebuilt per round.
+	var roundPlans []colPlan
+	var directScratch colPlan
 	distribute := func(rd round) (round, error) {
 		local := rd.buf
 		if spec.redistribute {
-			// Route each record to the processor owning its destination
-			// block: rank gi belongs to target column tj = gi ÷ chunk with
-			// occurrence index k = gi mod chunk — its position within tj's
-			// records this round, which are exactly the contiguous ranks
-			// [tj·chunk, (tj+1)·chunk). Owner = k ÷ share. Both sides
-			// compute k from the rank itself so the pattern agrees even
-			// when a processor's rank block straddles column chunks
-			// (s < P).
-			counts := make([]int, P)
-			destOf := func(gi int64) int {
-				return int((gi % int64(spec.chunk)) / int64(share))
-			}
-			for i := 0; i < rb; i++ {
-				counts[destOf(int64(lo)+int64(i))]++
-			}
-			outMsgs := make([]record.Slice, P)
-			fill := make([]int, P)
+			outMsgs := record.GetHeaders(P)
 			for d := 0; d < P; d++ {
-				outMsgs[d] = record.Make(counts[d], z)
+				outMsgs[d] = pool.Get(packPlan.counts[d], z)
+				fill[d] = 0
 			}
-			for i := 0; i < rb; i++ {
-				d := destOf(int64(lo) + int64(i))
-				outMsgs[d].CopyRecord(fill[d], local, i)
-				fill[d]++
-			}
+			replayExtents(outMsgs, fill, local, packPlan.exts, z)
 			cComm.MovedBytes += int64(rb * z)
+			pool.Put(local)
+			rd.buf = record.Slice{}
 			inMsgs, err := pr.AllToAll(&cComm, tagBase+rd.j*mcolTagStride+3*incore.TagSpan, outMsgs)
+			record.PutHeaders(outMsgs)
 			if err != nil {
 				return rd, err
 			}
-			// Reassemble: scan every source's rank range in order,
-			// keeping the records whose destination is this processor.
-			merged := record.Make(rb, z)
-			next := make([]int, P)
-			pos := 0
-			perColCount := make(map[int]int, s)
-			rd.perCol = make(map[int]record.Slice, s)
-			type pending struct {
-				src int
-				tj  int
-			}
-			order := make([]pending, 0, rb)
-			for src := 0; src < P; src++ {
-				srcLo := int64(src) * int64(rb)
-				for i := 0; i < rb; i++ {
-					gi := srcLo + int64(i)
-					if destOf(gi) != q {
-						continue
+			// Reassemble: scan every source's rank range in order, keeping
+			// the records whose destination is this processor — the keep
+			// plans replay that scan as batched copies.
+			plans := keepPlans
+			if plans == nil {
+				if roundPlans == nil {
+					roundPlans = make([]colPlan, P)
+				}
+				plans = roundPlans
+				for src := 0; src < P; src++ {
+					kp := &plans[src]
+					kp.reset(s)
+					srcLo := int64(src) * int64(rb)
+					for i := 0; i < rb; i++ {
+						if gi := srcLo + int64(i); destOf(gi) == q {
+							kp.add(spec.destCol(gi, rd.j))
+						}
 					}
-					tj := spec.destCol(gi, rd.j)
-					msg := inMsgs[src]
-					if next[src] >= msg.Len() {
-						return rd, fmt.Errorf("core: %s: redistribution message from %d too short", spec.name, src)
-					}
-					merged.CopyRecord(pos, msg, next[src])
-					order = append(order, pending{src: src, tj: tj})
-					next[src]++
-					pos++
-					perColCount[tj]++
 				}
 			}
-			if pos != rb {
-				return rd, fmt.Errorf("core: %s: redistribution delivered %d of %d records", spec.name, pos, rb)
+			total := 0
+			for tj := range colCounts {
+				colCounts[tj] = 0
 			}
+			for src := 0; src < P; src++ {
+				if inMsgs[src].Len() != plans[src].total {
+					return rd, fmt.Errorf("core: %s: redistribution message from %d has %d records, pattern wants %d",
+						spec.name, src, inMsgs[src].Len(), plans[src].total)
+				}
+				total += plans[src].total
+				for tj, c := range plans[src].counts {
+					colCounts[tj] += c
+				}
+			}
+			if total != rb {
+				return rd, fmt.Errorf("core: %s: redistribution delivered %d of %d records", spec.name, total, rb)
+			}
+			rd.perCol = record.GetHeaders(s)
+			for tj := 0; tj < s; tj++ {
+				if colCounts[tj] > 0 {
+					rd.perCol[tj] = pool.Get(int(colCounts[tj]), z)
+				}
+				fillCol[tj] = 0
+			}
+			for src := 0; src < P; src++ {
+				msg := inMsgs[src]
+				replayExtents(rd.perCol, fillCol, msg, plans[src].exts, z)
+				pool.Put(msg)
+			}
+			record.PutHeaders(inMsgs)
 			cComm.MovedBytes += int64(rb * z)
-			fillCol := make(map[int]int, s)
-			for tj, n := range perColCount {
-				rd.perCol[tj] = record.Make(n, z)
-			}
-			for i, pd := range order {
-				rd.perCol[pd.tj].CopyRecord(fillCol[pd.tj], merged, i)
-				fillCol[pd.tj]++
-			}
 			return rd, nil
 		}
 		// No redistribution: this processor's rank block contains exactly
 		// `share` records per target column per round; group them.
-		rd.perCol = make(map[int]record.Slice, s)
-		fillCol := make(map[int]int, s)
-		for i := 0; i < rb; i++ {
-			tj := spec.destCol(int64(lo)+int64(i), rd.j)
-			buf, ok := rd.perCol[tj]
-			if !ok {
-				buf = record.Make(share, z)
-				rd.perCol[tj] = buf
+		plan := &directPlan
+		if !spec.colInvariant {
+			plan = &directScratch
+			plan.reset(s)
+			for i := 0; i < rb; i++ {
+				plan.add(spec.destCol(int64(lo)+int64(i), rd.j))
 			}
-			k := fillCol[tj]
-			if k >= share {
+		}
+		for tj, c := range plan.counts {
+			if int(c) > share {
 				return rd, fmt.Errorf("core: %s: processor %d holds more than its share of column %d", spec.name, q, tj)
 			}
-			buf.CopyRecord(k, local, i)
-			fillCol[tj] = k + 1
 		}
+		rd.perCol = record.GetHeaders(s)
+		for tj := 0; tj < s; tj++ {
+			if plan.counts[tj] > 0 {
+				rd.perCol[tj] = pool.Get(int(plan.counts[tj]), z)
+			}
+			fillCol[tj] = 0
+		}
+		replayExtents(rd.perCol, fillCol, local, plan.exts, z)
 		cComm.MovedBytes += int64(rb * z)
+		pool.Put(local)
 		rd.buf = record.Slice{}
 		return rd, nil
 	}
 
 	write := func(rd round) error {
 		for tj := 0; tj < s; tj++ {
-			chunk, ok := rd.perCol[tj]
-			if !ok {
+			chunk := rd.perCol[tj]
+			if chunk.Data == nil || chunk.Len() == 0 {
 				continue
 			}
 			if err := out.WriteRows(&cWrite, q, tj, lo+written[tj], chunk); err != nil {
 				return err
 			}
 			written[tj] += chunk.Len()
+			pool.Put(chunk)
 		}
+		record.PutHeaders(rd.perCol)
+		rd.perCol = nil
 		return nil
 	}
 
@@ -237,14 +290,13 @@ func runMColScatterPass(pr *cluster.Proc, pl Plan, spec mcolSpec, in, out *pdm.S
 // the two sort stages turns into eight in-core sort stages"), and a
 // half-rotation that lands every final half-column on the processors owning
 // its rows, which are then written in TRUE row order.
-func runMColMergePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, tagBase int, cnt *sim.Counters) error {
+func runMColMergePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters) error {
 	q := pr.Rank()
 	P := pl.P
 	r, s, z := pl.R, pl.S, pl.Z
 	rb := r / P
 	lo := q * rb
 	half := P / 2
-	sorter := incore.Columnsort{}
 
 	var cRead, cSort, cBound, cWrite sim.Counters
 
@@ -258,7 +310,7 @@ func runMColMergePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, tagBase int
 	}
 
 	read := func(rd round) (round, error) {
-		rd.buf = record.Make(rb, z)
+		rd.buf = pool.Get(rb, z)
 		if err := in.ReadRows(&cRead, q, rd.j, lo, rd.buf); err != nil {
 			return rd, err
 		}
@@ -266,6 +318,8 @@ func runMColMergePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, tagBase int
 		return rd, nil
 	}
 
+	var sortSc sortalg.Scratch
+	sorter := incore.Columnsort{Pool: pool, Scratch: &sortSc}
 	sortStage := func(rd round) (round, error) { // step 5
 		sorted, err := sorter.Sort(pr, &cSort, tagBase+rd.j*mcolTagStride, rd.buf)
 		if err != nil {
@@ -278,6 +332,8 @@ func runMColMergePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, tagBase int
 	// boundary carries cross-round state: this processor's piece of the
 	// previous column's bottom half (only processors q ≥ P/2 hold one).
 	var prevBottom record.Slice
+	var boundSc sortalg.Scratch
+	boundSorter := incore.Columnsort{Pool: pool, Scratch: &boundSc}
 
 	boundary := func(rd round) (round, error) {
 		j := rd.j
@@ -328,7 +384,7 @@ func runMColMergePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, tagBase int
 		}
 
 		// Step 7: sort the overlap.
-		sortedO, err := sorter.Sort(pr, &cBound, sortWin, oPiece)
+		sortedO, err := boundSorter.Sort(pr, &cBound, sortWin, oPiece)
 		if err != nil {
 			return rd, err
 		}
@@ -366,6 +422,7 @@ func runMColMergePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, tagBase int
 			if err := out.WriteRows(&cWrite, q, w.col, w.row, w.recs); err != nil {
 				return err
 			}
+			pool.Put(w.recs)
 		}
 		return nil
 	}

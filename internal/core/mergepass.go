@@ -23,7 +23,7 @@ import (
 // sort, communicate, sort, communicate, permute, write.
 //
 // The pass writes TRUE row order — its output is the sorted file.
-func runMergePass(pr *cluster.Proc, pl Plan, runLen int, in, out *pdm.Store, tagBase int, cnt *sim.Counters) error {
+func runMergePass(pr *cluster.Proc, pl Plan, runLen int, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters) error {
 	p := pr.Rank()
 	P := pl.P
 	r, s, z := pl.R, pl.S, pl.Z
@@ -40,12 +40,13 @@ func runMergePass(pr *cluster.Proc, pl Plan, runLen int, in, out *pdm.Store, tag
 	type round struct {
 		t, col   int
 		buf      record.Slice // sorted column [top; bottom]
+		merged   record.Slice // boundary merge result (aliased by finalTop)
 		finalTop record.Slice
 		finalBot record.Slice
 	}
 
 	read := func(rd round) (round, error) {
-		rd.buf = record.Make(r, z)
+		rd.buf = pool.Get(r, z)
 		if err := in.ReadColumn(&cRead, p, rd.col, rd.buf); err != nil {
 			return rd, err
 		}
@@ -53,16 +54,19 @@ func runMergePass(pr *cluster.Proc, pl Plan, runLen int, in, out *pdm.Store, tag
 		return rd, nil
 	}
 
+	var sortSc sortalg.Scratch
+	sortRuns := sortRunsFor(r, runLen)
 	sortStage := func(rd round) (round, error) { // step 5
-		sorted := record.Make(r, z)
-		sortColumn(sorted, rd.buf, runLen, &cSort)
+		sorted := pool.Get(r, z)
+		sortColumn(sorted, rd.buf, runLen, sortRuns, &sortSc, &cSort)
+		pool.Put(rd.buf)
 		rd.buf = sorted
 		return rd, nil
 	}
 
 	comm1 := func(rd round) (round, error) { // step 6: ship bottoms right
 		if rd.col+1 < s {
-			bot := record.Make(h, z)
+			bot := pool.Get(h, z)
 			bot.Copy(rd.buf.Sub(h, r))
 			cComm1.MovedBytes += int64(len(bot.Data))
 			if err := pr.Send(&cComm1, (p+1)%P, tagB(rd.col), bot); err != nil {
@@ -81,13 +85,15 @@ func runMergePass(pr *cluster.Proc, pl Plan, runLen int, in, out *pdm.Store, tag
 		if err != nil {
 			return rd, err
 		}
-		merged := record.Make(r, z)
+		merged := pool.Get(r, z)
 		sortalg.MergeInto(merged, prevBot, rd.buf.Sub(0, h))
+		pool.Put(prevBot)
 		cMerge.CompareUnits += sim.MergeWork(r, 2)
 		cMerge.MovedBytes += int64(len(merged.Data))
+		rd.merged = merged
 		rd.finalTop = merged.Sub(h, r)
 		// The low half is column col−1's final bottom; send it back.
-		back := record.Make(h, z)
+		back := pool.Get(h, z)
 		back.Copy(merged.Sub(0, h))
 		if err := pr.Send(&cMerge, (p+P-1)%P, tagF(rd.col-1), back); err != nil {
 			return rd, err
@@ -112,7 +118,18 @@ func runMergePass(pr *cluster.Proc, pl Plan, runLen int, in, out *pdm.Store, tag
 		if err := out.WriteRows(&cWrite, p, rd.col, 0, rd.finalTop); err != nil {
 			return err
 		}
-		return out.WriteRows(&cWrite, p, rd.col, h, rd.finalBot)
+		if err := out.WriteRows(&cWrite, p, rd.col, h, rd.finalBot); err != nil {
+			return err
+		}
+		// Recycle this round's buffers: finalTop and finalBot are views of
+		// buf or merged (or a received buffer, for finalBot off the last
+		// column), so only the owning buffers go back.
+		if rd.col+1 < s {
+			pool.Put(rd.finalBot) // received whole-message buffer
+		}
+		pool.Put(rd.merged) // zero Slice for column 0: no-op
+		pool.Put(rd.buf)
+		return nil
 	}
 
 	src := func(emit func(round) error) error {
@@ -136,7 +153,7 @@ func runMergePass(pr *cluster.Proc, pl Plan, runLen int, in, out *pdm.Store, tag
 
 // runSortPass is the degenerate pass used for single-column problems
 // (s = 1): read, sort, write true order.
-func runSortPass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, cnt *sim.Counters) error {
+func runSortPass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, pool *record.Pool, cnt *sim.Counters) error {
 	p := pr.Rank()
 	if pl.S != 1 {
 		return fmt.Errorf("core: sort pass requires s=1, got s=%d", pl.S)
@@ -144,14 +161,18 @@ func runSortPass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, cnt *sim.Counter
 	if p != 0 {
 		return nil // column 0 belongs to processor 0
 	}
-	buf := record.Make(pl.R, pl.Z)
+	buf := pool.Get(pl.R, pl.Z)
 	if err := in.ReadColumn(cnt, 0, 0, buf); err != nil {
 		return err
 	}
 	cnt.Rounds++
-	sorted := record.Make(pl.R, pl.Z)
-	sortalg.SortInto(sorted, buf)
+	sorted := pool.Get(pl.R, pl.Z)
+	var sc sortalg.Scratch
+	sc.SortInto(sorted, buf)
 	cnt.CompareUnits += sim.SortWork(pl.R)
 	cnt.MovedBytes += int64(len(sorted.Data))
-	return out.WriteColumn(cnt, 0, 0, sorted)
+	err := out.WriteColumn(cnt, 0, 0, sorted)
+	pool.Put(buf)
+	pool.Put(sorted)
+	return err
 }

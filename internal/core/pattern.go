@@ -1,0 +1,162 @@
+package core
+
+import "colsort/internal/record"
+
+// Precomputed permutation tables for the scatter passes.
+//
+// The communicate and permute stages of a scatter pass replay the pass's
+// oblivious permutation record by record: for every sorted position i of a
+// source column they ask destCol(i, j) where a record goes. The answers
+// depend only on (r, s, P) and — for steps 2 and 4 — not even on the source
+// column j, so the whole question-and-answer session can be computed ONCE
+// per pass and compiled into flat tables: per-destination counts, maximal
+// contiguous-run extents (consecutive sorted positions with the same
+// destination), and receiver-side fill offsets. The per-round work then
+// collapses from r (or r·P) closure calls plus per-record CopyRecord loops
+// and map lookups into batched copies of runs over dense slices.
+//
+// For passes whose destination map does depend on the source column (the
+// subblock permutation, the targeted step-5 pass), the plans are rebuilt
+// per round into stage-local scratch, which reuses the same backing arrays
+// and therefore still allocates nothing in steady state.
+
+// extent is a maximal run of consecutive sorted positions sharing one
+// destination: dst is a destination processor on the send side and an
+// owned-column slot (or target column) on the receive side.
+type extent struct {
+	dst   int32
+	count int32
+}
+
+// replayExtents executes a compiled plan: for each extent, one batched copy
+// of count records from the running position in src into dst[e.dst] at that
+// buffer's fill offset. fill must be zeroed and len ≥ the largest e.dst+1;
+// it is left holding the per-destination record counts consumed.
+func replayExtents(dst []record.Slice, fill []int32, src record.Slice, exts []extent, z int) {
+	pos := 0
+	for _, e := range exts {
+		d, n := int(e.dst), int(e.count)
+		f := int(fill[d])
+		copy(dst[d].Data[f*z:(f+n)*z], src.Data[pos*z:(pos+n)*z])
+		fill[d] += int32(n)
+		pos += n
+	}
+}
+
+// sendPlan is the communicate stage's packing pattern for one source
+// column: how many records go to each destination processor, and the
+// contiguous-run extents of the sorted column in scan order.
+type sendPlan struct {
+	counts []int // per destination processor
+	exts   []extent
+}
+
+// build compiles the plan for source column col, reusing the plan's
+// backing arrays.
+func (sp *sendPlan) build(destCol func(i, j int) int, col, r, P int) {
+	if cap(sp.counts) < P {
+		sp.counts = make([]int, P)
+	}
+	sp.counts = sp.counts[:P]
+	for d := range sp.counts {
+		sp.counts[d] = 0
+	}
+	if cap(sp.exts) == 0 {
+		sp.exts = make([]extent, 0, r) // extents never outnumber positions
+	}
+	sp.exts = sp.exts[:0]
+	prev := int32(-1)
+	for i := 0; i < r; i++ {
+		d := int32(destCol(i, col) % P)
+		sp.counts[d]++
+		if d == prev {
+			sp.exts[len(sp.exts)-1].count++
+		} else {
+			sp.exts = append(sp.exts, extent{dst: d, count: 1})
+			prev = d
+		}
+	}
+}
+
+// colPlan is the distribution pattern of one scan of sorted ranks over
+// target columns — the rank-keyed counterpart of recvPlan used by the
+// m-column and hybrid passes: per-column counts plus extents of consecutive
+// scanned positions sharing a column, accumulated via add so callers can
+// apply arbitrary keep predicates. Built once per pass for rank-invariant
+// destination maps, rebuilt into stage scratch otherwise.
+type colPlan struct {
+	total  int
+	counts []int32 // per target column
+	exts   []extent
+}
+
+func (cp *colPlan) reset(s int) {
+	if cap(cp.counts) < s {
+		cp.counts = make([]int32, s)
+	}
+	cp.counts = cp.counts[:s]
+	for i := range cp.counts {
+		cp.counts[i] = 0
+	}
+	cp.exts = cp.exts[:0]
+	cp.total = 0
+}
+
+// add accumulates the next kept scan position, coalescing same-column runs
+// into one extent — the same run-length encoding sendPlan.build and
+// recvPlan.build inline in their scan loops.
+func (cp *colPlan) add(tj int) {
+	cp.counts[tj]++
+	cp.total++
+	if n := len(cp.exts); n > 0 && cp.exts[n-1].dst == int32(tj) {
+		cp.exts[n-1].count++
+	} else {
+		cp.exts = append(cp.exts, extent{dst: int32(tj), count: 1})
+	}
+}
+
+// recvPlan is the permute stage's replay pattern for one (source column,
+// receiving processor) pair: of the records of the sorted source column, in
+// order, which ones arrive here and into which owned-column slot they fall.
+// Slot k is owned column p + k·P. Because a message carries exactly the
+// records destined here, in source order, consecutive kept records with the
+// same slot form one extent even when skipped records separate them in the
+// source column.
+type recvPlan struct {
+	total  int     // records this processor receives from the column
+	counts []int32 // per owned-column slot
+	exts   []extent
+}
+
+// build compiles the plan for source column srcCol as seen by processor p,
+// reusing the plan's backing arrays. nSlots is s/P.
+func (rp *recvPlan) build(destCol func(i, j int) int, srcCol, r, nSlots, P, p int) {
+	if cap(rp.counts) < nSlots {
+		rp.counts = make([]int32, nSlots)
+	}
+	rp.counts = rp.counts[:nSlots]
+	for k := range rp.counts {
+		rp.counts[k] = 0
+	}
+	if cap(rp.exts) == 0 {
+		rp.exts = make([]extent, 0, r)
+	}
+	rp.exts = rp.exts[:0]
+	rp.total = 0
+	prev := int32(-1)
+	for i := 0; i < r; i++ {
+		tj := destCol(i, srcCol)
+		if tj%P != p {
+			continue // skipped records are not in the message: no extent break
+		}
+		slot := int32(tj / P)
+		rp.counts[slot]++
+		rp.total++
+		if slot == prev {
+			rp.exts[len(rp.exts)-1].count++
+		} else {
+			rp.exts = append(rp.exts, extent{dst: slot, count: 1})
+			prev = slot
+		}
+	}
+}

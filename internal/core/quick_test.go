@@ -156,7 +156,7 @@ func TestIntermediateRunStructure(t *testing.T) {
 	defer out.Close()
 	cnts := make([]sim.Counters, pl.P)
 	err = cluster.Run(pl.P, func(pr *cluster.Proc) error {
-		return passes[0](pr, input, out, &cnts[pr.Rank()])
+		return passes[0](pr, input, out, 0, record.NewPool(), &cnts[pr.Rank()])
 	})
 	if err != nil {
 		t.Fatal(err)

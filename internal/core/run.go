@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"colsort/internal/bitperm"
 	"colsort/internal/cluster"
+	"colsort/internal/incore"
 	"colsort/internal/matrix"
 	"colsort/internal/pdm"
 	"colsort/internal/pipeline"
@@ -37,8 +39,21 @@ func (res *Result) TotalCounters() sim.Counters {
 	return tot
 }
 
-// passFunc executes one pass on one processor.
-type passFunc func(pr *cluster.Proc, in, out *pdm.Store, cnt *sim.Counters) error
+// passFunc executes one pass on one processor. tagBase is the start of the
+// tag window reserved for this pass on the shared cluster fabric; pool is
+// the processor's persistent buffer pool, shared by all passes of the run
+// so that the steady state of the whole sort recycles rather than
+// allocates.
+type passFunc func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters) error
+
+// passTagWindow returns the width of the tag space one pass may use, so
+// that consecutive passes sharing one cluster fabric can never collide.
+// The widest users are the m-column and hybrid passes: (s+2) windows of
+// 4·incore.TagSpan plus 8·s cross-round boundary tags; the column-owned
+// passes use at most 2s+2 tags.
+func passTagWindow(pl Plan) int {
+	return (pl.S+3)*4*incore.TagSpan + 8*pl.S + 16
+}
 
 // Run executes the planned algorithm on the machine, consuming columns of
 // input and returning a Result whose Output store holds the sorted data.
@@ -60,27 +75,70 @@ func Run(pl Plan, m pdm.Machine, input *pdm.Store) (*Result, error) {
 	}
 
 	res := &Result{Plan: pl}
-	cur := input
-	for k, pass := range passes {
-		out, err := pl.NewStore(m)
-		if err != nil {
-			return nil, err
-		}
-		cnts := make([]sim.Counters, pl.P)
-		err = cluster.Run(pl.P, func(pr *cluster.Proc) error {
-			return pass(pr, cur, out, &cnts[pr.Rank()])
-		})
-		if cur != input {
-			cur.Close()
-		}
-		if err != nil {
-			out.Close()
-			return nil, fmt.Errorf("core: pass %d of %v: %w", k+1, pl.Alg, err)
-		}
-		res.PassCounters = append(res.PassCounters, cnts)
-		cur = out
+	// One buffer pool per processor, persisting across passes (and across
+	// runs, when the machine carries them): buffers allocated in pass 1
+	// serve every later pass's — and every later sort's — pipeline rounds.
+	pools := m.Pools
+	if pools == nil {
+		pools = record.NewPools(pl.P)
 	}
-	res.Output = cur
+	// All passes share ONE cluster fabric (goroutine processors live for
+	// the whole run, as the paper's MPI processes do), separated by
+	// barriers and disjoint tag windows. Rank 0 creates each pass's output
+	// store just before the pass (the pre-pass barrier publishes it) and
+	// releases each consumed intermediate as soon as the post-pass barrier
+	// confirms the pass is globally complete, so at most three stores are
+	// ever open — file-backed machines would otherwise hold every pass's
+	// disk files at once.
+	stores := make([]*pdm.Store, len(passes)+1)
+	stores[0] = input
+	cnts := make([][]sim.Counters, len(passes))
+	for k := range cnts {
+		cnts[k] = make([]sim.Counters, pl.P)
+	}
+	window := passTagWindow(pl)
+	var failedPass atomic.Int64
+	failedPass.Store(-1)
+	var storeErr error
+	err = cluster.Run(pl.P, func(pr *cluster.Proc) error {
+		for k, pass := range passes {
+			if pr.Rank() == 0 {
+				stores[k+1], storeErr = pl.NewStore(m)
+			}
+			if err := pr.Barrier(); err != nil { // publishes stores[k+1]
+				return err
+			}
+			if storeErr != nil {
+				failedPass.CompareAndSwap(-1, int64(k))
+				return storeErr
+			}
+			if err := pass(pr, stores[k], stores[k+1], k*window, pools[pr.Rank()], &cnts[k][pr.Rank()]); err != nil {
+				failedPass.CompareAndSwap(-1, int64(k))
+				return err
+			}
+			if err := pr.Barrier(); err != nil {
+				return err
+			}
+			if pr.Rank() == 0 && k > 0 {
+				stores[k].Close() // consumed intermediate; never the input
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		for _, st := range stores[1:] {
+			if st != nil {
+				st.Close() // Close is idempotent; nil = pass never reached
+			}
+		}
+		k := failedPass.Load()
+		if k < 0 {
+			k = 0
+		}
+		return nil, fmt.Errorf("core: pass %d of %v: %w", k+1, pl.Alg, err)
+	}
+	res.PassCounters = cnts
+	res.Output = stores[len(passes)]
 	return res, nil
 }
 
@@ -95,8 +153,8 @@ func passList(pl Plan) ([]passFunc, error) {
 		n := pl.Alg.Passes()
 		passes := make([]passFunc, n)
 		for k := range passes {
-			passes[k] = func(pr *cluster.Proc, in, out *pdm.Store, cnt *sim.Counters) error {
-				return runSortPass(pr, pl, in, out, cnt)
+			passes[k] = func(pr *cluster.Proc, in, out *pdm.Store, _ int, pool *record.Pool, cnt *sim.Counters) error {
+				return runSortPass(pr, pl, in, out, pool, cnt)
 			}
 		}
 		return passes, nil
@@ -107,24 +165,24 @@ func passList(pl Plan) ([]passFunc, error) {
 	identity := func(i, j int) int { return j }
 
 	scatter := func(spec scatterSpec) passFunc {
-		return func(pr *cluster.Proc, in, out *pdm.Store, cnt *sim.Counters) error {
-			return runScatterPass(pr, pl, spec, in, out, 0, cnt)
+		return func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters) error {
+			return runScatterPass(pr, pl, spec, in, out, tagBase, pool, cnt)
 		}
 	}
 	merge := func(runLen int) passFunc {
-		return func(pr *cluster.Proc, in, out *pdm.Store, cnt *sim.Counters) error {
-			return runMergePass(pr, pl, runLen, in, out, 0, cnt)
+		return func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters) error {
+			return runMergePass(pr, pl, runLen, in, out, tagBase, pool, cnt)
 		}
 	}
-	baseline := func(pr *cluster.Proc, in, out *pdm.Store, cnt *sim.Counters) error {
-		return runBaselinePass(pr, pl, in, out, cnt)
+	baseline := func(pr *cluster.Proc, in, out *pdm.Store, _ int, pool *record.Pool, cnt *sim.Counters) error {
+		return runBaselinePass(pr, pl, in, out, pool, cnt)
 	}
 
 	switch pl.Alg {
 	case Threaded:
 		return []passFunc{
-			scatter(scatterSpec{name: "steps 1-2", runLen: 0, destCol: step2}),
-			scatter(scatterSpec{name: "steps 3-4", runLen: r / s, destCol: step4}),
+			scatter(scatterSpec{name: "steps 1-2", runLen: 0, destCol: step2, colInvariant: true}),
+			scatter(scatterSpec{name: "steps 3-4", runLen: r / s, destCol: step4, colInvariant: true}),
 			merge(r / s),
 		}, nil
 
@@ -132,8 +190,8 @@ func passList(pl Plan) ([]passFunc, error) {
 		// Faithful in I/O volume to [CCW01]'s 4 passes; steps regroup as
 		// [1,2], [3,4], [5], [6–8] (see DESIGN.md).
 		return []passFunc{
-			scatter(scatterSpec{name: "steps 1-2", runLen: 0, destCol: step2}),
-			scatter(scatterSpec{name: "steps 3-4", runLen: r / s, destCol: step4}),
+			scatter(scatterSpec{name: "steps 1-2", runLen: 0, destCol: step2, colInvariant: true}),
+			scatter(scatterSpec{name: "steps 3-4", runLen: r / s, destCol: step4, colInvariant: true}),
 			scatter(scatterSpec{name: "step 5", runLen: r / s, destCol: identity,
 				targetProcs: func(j int) []int { return []int{j % pl.P} }}),
 			merge(r),
@@ -155,26 +213,26 @@ func passList(pl Plan) ([]passFunc, error) {
 			return list
 		}
 		return []passFunc{
-			scatter(scatterSpec{name: "steps 1-2", runLen: 0, destCol: step2}),
+			scatter(scatterSpec{name: "steps 1-2", runLen: 0, destCol: step2, colInvariant: true}),
 			scatter(scatterSpec{name: "subblock pass (3, 3.1)", runLen: r / s,
 				destCol: subblockDest, targetProcs: targets}),
-			scatter(scatterSpec{name: "steps 3.2-4", runLen: r / q, destCol: step4}),
+			scatter(scatterSpec{name: "steps 3.2-4", runLen: r / q, destCol: step4, colInvariant: true}),
 			merge(r / s),
 		}, nil
 
 	case MColumn:
 		mScatter := func(spec mcolSpec) passFunc {
-			return func(pr *cluster.Proc, in, out *pdm.Store, cnt *sim.Counters) error {
-				return runMColScatterPass(pr, pl, spec, in, out, 0, cnt)
+			return func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters) error {
+				return runMColScatterPass(pr, pl, spec, in, out, tagBase, pool, cnt)
 			}
 		}
 		return []passFunc{
-			mScatter(mcolSpec{name: "m-steps 1-2", chunk: r / s,
+			mScatter(mcolSpec{name: "m-steps 1-2", chunk: r / s, colInvariant: true,
 				destCol: func(rank int64, j int) int { return int(rank % int64(s)) }}),
-			mScatter(mcolSpec{name: "m-steps 3-4", chunk: r / s, redistribute: true,
+			mScatter(mcolSpec{name: "m-steps 3-4", chunk: r / s, redistribute: true, colInvariant: true,
 				destCol: func(rank int64, j int) int { return int(rank / (int64(r) / int64(s))) }}),
-			func(pr *cluster.Proc, in, out *pdm.Store, cnt *sim.Counters) error {
-				return runMColMergePass(pr, pl, in, out, 0, cnt)
+			func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters) error {
+				return runMColMergePass(pr, pl, in, out, tagBase, pool, cnt)
 			},
 		}, nil
 
@@ -182,29 +240,29 @@ func passList(pl Plan) ([]passFunc, error) {
 		sb := bitperm.MustSubblock(r, s)
 		q := sb.SqrtS()
 		mScatter := func(spec mcolSpec) passFunc {
-			return func(pr *cluster.Proc, in, out *pdm.Store, cnt *sim.Counters) error {
-				return runMColScatterPass(pr, pl, spec, in, out, 0, cnt)
+			return func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters) error {
+				return runMColScatterPass(pr, pl, spec, in, out, tagBase, pool, cnt)
 			}
 		}
 		return []passFunc{
-			mScatter(mcolSpec{name: "c-steps 1-2", chunk: r / s,
+			mScatter(mcolSpec{name: "c-steps 1-2", chunk: r / s, colInvariant: true,
 				destCol: func(rank int64, j int) int { return int(rank % int64(s)) }}),
 			mScatter(mcolSpec{name: "c-subblock (3, 3.1)", chunk: r / q,
 				destCol: func(rank int64, j int) int {
 					return j%q + int(rank%int64(q))*q
 				}}),
-			mScatter(mcolSpec{name: "c-steps 3.2-4", chunk: r / s, redistribute: true,
+			mScatter(mcolSpec{name: "c-steps 3.2-4", chunk: r / s, redistribute: true, colInvariant: true,
 				destCol: func(rank int64, j int) int { return int(rank / (int64(r) / int64(s))) }}),
-			func(pr *cluster.Proc, in, out *pdm.Store, cnt *sim.Counters) error {
-				return runMColMergePass(pr, pl, in, out, 0, cnt)
+			func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters) error {
+				return runMColMergePass(pr, pl, in, out, tagBase, pool, cnt)
 			},
 		}, nil
 
 	case Hybrid:
 		c := int64(r / s)
 		hScatter := func(spec hybridSpec) passFunc {
-			return func(pr *cluster.Proc, in, out *pdm.Store, cnt *sim.Counters) error {
-				return runHybridScatterPass(pr, pl, spec, in, out, 0, cnt)
+			return func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters) error {
+				return runHybridScatterPass(pr, pl, spec, in, out, tagBase, pool, cnt)
 			}
 		}
 		return []passFunc{
@@ -214,8 +272,8 @@ func passList(pl Plan) ([]passFunc, error) {
 			hScatter(hybridSpec{name: "h-steps 3-4",
 				destCol: func(gi int64) int { return int(gi / c) },
 				occ:     func(gi int64) int64 { return gi % c }}),
-			func(pr *cluster.Proc, in, out *pdm.Store, cnt *sim.Counters) error {
-				return runHybridMergePass(pr, pl, in, out, 0, cnt)
+			func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters) error {
+				return runHybridMergePass(pr, pl, in, out, tagBase, pool, cnt)
 			},
 		}, nil
 
@@ -230,48 +288,44 @@ func passList(pl Plan) ([]passFunc, error) {
 // runBaselinePass reads every owned column and writes it back out — the
 // pure-I/O program whose 3- and 4-pass times form the floor lines of
 // Figure 2. It works on both layouts.
-func runBaselinePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, cnt *sim.Counters) error {
+func runBaselinePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, pool *record.Pool, cnt *sim.Counters) error {
 	p := pr.Rank()
 	var cRead, cWrite sim.Counters
 
 	type round struct {
-		cols []int // columns touched this round (one for column-owned)
-		bufs []record.Slice
-		rows []int
+		col int // column touched this round
+		buf record.Slice
+		row int
 	}
 
 	read := func(rd round) (round, error) {
-		for _, col := range rd.cols {
-			lo, hi := in.OwnedRows(p, col)
-			buf := record.Make(hi-lo, pl.Z)
-			if err := in.ReadRows(&cRead, p, col, lo, buf); err != nil {
-				return rd, err
-			}
-			rd.bufs = append(rd.bufs, buf)
-			rd.rows = append(rd.rows, lo)
+		lo, hi := in.OwnedRows(p, rd.col)
+		rd.buf = pool.Get(hi-lo, pl.Z)
+		if err := in.ReadRows(&cRead, p, rd.col, lo, rd.buf); err != nil {
+			return rd, err
 		}
+		rd.row = lo
 		cRead.Rounds++
 		return rd, nil
 	}
 	write := func(rd round) error {
-		for k, col := range rd.cols {
-			if err := out.WriteRows(&cWrite, p, col, rd.rows[k], rd.bufs[k]); err != nil {
-				return err
-			}
+		if err := out.WriteRows(&cWrite, p, rd.col, rd.row, rd.buf); err != nil {
+			return err
 		}
+		pool.Put(rd.buf)
 		return nil
 	}
 	src := func(emit func(round) error) error {
 		if pl.Layout == pdm.ColumnOwned {
 			for t := 0; t < pl.S/pl.P; t++ {
-				if err := emit(round{cols: []int{t*pl.P + p}}); err != nil {
+				if err := emit(round{col: t*pl.P + p}); err != nil {
 					return err
 				}
 			}
 			return nil
 		}
 		for j := 0; j < pl.S; j++ {
-			if err := emit(round{cols: []int{j}}); err != nil {
+			if err := emit(round{col: j}); err != nil {
 				return err
 			}
 		}

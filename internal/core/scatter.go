@@ -25,6 +25,12 @@ type scatterSpec struct {
 	// destCol maps sorted row i of source column j to its target column.
 	destCol func(i, j int) int
 
+	// colInvariant marks destCol as independent of the source column j
+	// (true for steps 2 and 4): the permutation tables are then computed
+	// once per pass and shared by every round; otherwise they are rebuilt
+	// per round into reusable stage scratch.
+	colInvariant bool
+
 	// targetProcs returns the processors that source column j sends to,
 	// or nil to use a full all-to-all (every processor sends P messages,
 	// as in passes 1 and 2 of threaded columnsort). The subblock pass
@@ -40,9 +46,9 @@ type scatterRound struct {
 	buf    record.Slice   // read → sorted column
 	inMsgs []record.Slice // per source processor, after communicate
 
-	// writes holds, per owned target column, the records that arrived
-	// this round, in arrival order.
-	writes map[int]record.Slice
+	// writes holds, per owned-column slot (slot k ↔ column p + k·P), the
+	// records that arrived this round, in arrival order.
+	writes []record.Slice
 }
 
 // pipeDepth is the channel capacity between pipeline stages; 2 keeps a few
@@ -53,37 +59,62 @@ const pipeDepth = 2
 // sortColumn realizes a pass's sort stage: a full sort when the input run
 // structure is unknown (runLen ≤ 0), a pure copy when the column is already
 // one sorted run (runLen ≥ len), and a k-way merge otherwise, charging the
-// appropriate comparison work.
-func sortColumn(dst, src record.Slice, runLen int, cnt *sim.Counters) {
+// appropriate comparison work. runs must be the precomputed descriptors
+// matching runLen (sortRunsFor), and sc the calling stage's scratch.
+func sortColumn(dst, src record.Slice, runLen int, runs []sortalg.Run, sc *sortalg.Scratch, cnt *sim.Counters) {
 	r := src.Len()
 	switch {
 	case runLen <= 0 || runLen > r:
-		sortalg.SortInto(dst, src)
+		sc.SortInto(dst, src)
 		cnt.CompareUnits += sim.SortWork(r)
 	case runLen == r:
 		dst.Copy(src)
 	default:
 		k := r / runLen
-		sortalg.MergeRunsInto(dst, src, sortalg.ContiguousRuns(r, k))
+		sc.MergeRunsInto(dst, src, runs)
 		cnt.CompareUnits += sim.MergeWork(r, k)
 	}
 	cnt.MovedBytes += int64(len(dst.Data))
 }
 
+// sortRunsFor precomputes the run descriptors sortColumn needs for columns
+// of r records made of sorted runs of length runLen (nil when a full sort
+// or a pure copy applies), so the merge stage does not rebuild them per
+// round.
+func sortRunsFor(r, runLen int) []sortalg.Run {
+	if runLen <= 0 || runLen >= r {
+		return nil
+	}
+	return sortalg.ContiguousRuns(r, r/runLen)
+}
+
 // runScatterPass executes one scatter pass on processor pr, reading columns
-// of in and appending arrival-order chunks to out. It merges per-stage
-// counters into cnt when the pass completes.
-func runScatterPass(pr *cluster.Proc, pl Plan, spec scatterSpec, in, out *pdm.Store, tagBase int, cnt *sim.Counters) error {
+// of in and appending arrival-order chunks to out. All column, message and
+// write buffers cycle through pool, and the permutation is replayed from
+// precomputed tables (see pattern.go). It merges per-stage counters into
+// cnt when the pass completes.
+func runScatterPass(pr *cluster.Proc, pl Plan, spec scatterSpec, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters) error {
 	p := pr.Rank()
 	P := pl.P
 	r, s, z := pl.R, pl.S, pl.Z
 	rounds := pl.Rounds()
+	nSlots := s / P
 
 	var cRead, cSort, cComm, cPerm, cWrite sim.Counters
-	nextFree := make(map[int]int) // owned target column → next arrival row
+	nextFree := make([]int, nSlots) // owned-column slot → next arrival row
+
+	// Pattern tables, computed once per pass when destCol ignores the
+	// source column; read-only thereafter, so the concurrent stages may
+	// share them.
+	var sharedSend sendPlan
+	var sharedRecv recvPlan
+	if spec.colInvariant {
+		sharedSend.build(spec.destCol, 0, r, P)
+		sharedRecv.build(spec.destCol, 0, r, nSlots, P, p)
+	}
 
 	read := func(rd scatterRound) (scatterRound, error) {
-		rd.buf = record.Make(r, z)
+		rd.buf = pool.Get(r, z)
 		if err := in.ReadColumn(&cRead, p, rd.col, rd.buf); err != nil {
 			return rd, err
 		}
@@ -91,37 +122,41 @@ func runScatterPass(pr *cluster.Proc, pl Plan, spec scatterSpec, in, out *pdm.St
 		return rd, nil
 	}
 
+	var sortSc sortalg.Scratch
+	sortRuns := sortRunsFor(r, spec.runLen)
 	sortStage := func(rd scatterRound) (scatterRound, error) {
-		sorted := record.Make(r, z)
-		sortColumn(sorted, rd.buf, spec.runLen, &cSort)
+		sorted := pool.Get(r, z)
+		sortColumn(sorted, rd.buf, spec.runLen, sortRuns, &sortSc, &cSort)
+		pool.Put(rd.buf)
 		rd.buf = sorted
 		return rd, nil
 	}
 
+	var commPlan sendPlan // stage scratch for column-dependent passes
+	fill := make([]int32, P)
 	communicate := func(rd scatterRound) (scatterRound, error) {
 		// Pack one outgoing buffer per destination processor, scanning the
 		// sorted column in order so every (source, destination) chunk is a
-		// sorted run.
-		counts := make([]int, P)
-		for i := 0; i < r; i++ {
-			counts[spec.destCol(i, rd.col)%P]++
+		// sorted run. The plan turns the scan into one copy per extent.
+		sp := &sharedSend
+		if !spec.colInvariant {
+			commPlan.build(spec.destCol, rd.col, r, P)
+			sp = &commPlan
 		}
-		out := make([]record.Slice, P)
-		fill := make([]int, P)
+		outMsgs := record.GetHeaders(P)
 		for d := 0; d < P; d++ {
-			out[d] = record.Make(counts[d], z)
+			outMsgs[d] = pool.Get(sp.counts[d], z)
+			fill[d] = 0
 		}
-		for i := 0; i < r; i++ {
-			d := spec.destCol(i, rd.col) % P
-			out[d].CopyRecord(fill[d], rd.buf, i)
-			fill[d]++
-		}
+		replayExtents(outMsgs, fill, rd.buf, sp.exts, z)
 		cComm.MovedBytes += int64(r * z)
+		pool.Put(rd.buf)
 		rd.buf = record.Slice{}
 
 		tag := tagBase + rd.t
 		if spec.targetProcs == nil {
-			in, err := pr.AllToAll(&cComm, tag, out)
+			in, err := pr.AllToAll(&cComm, tag, outMsgs)
+			record.PutHeaders(outMsgs)
 			if err != nil {
 				return rd, err
 			}
@@ -132,14 +167,19 @@ func runScatterPass(pr *cluster.Proc, pl Plan, spec scatterSpec, in, out *pdm.St
 		// (property 1 of Section 3); receive from exactly the sources
 		// whose target set includes this processor.
 		for _, d := range spec.targetProcs(rd.col) {
-			if out[d].Len() == 0 {
+			if outMsgs[d].Len() == 0 {
 				return rd, fmt.Errorf("core: %s: empty message for computed target %d", spec.name, d)
 			}
-			if err := pr.Send(&cComm, d, tag, out[d]); err != nil {
+			if err := pr.Send(&cComm, d, tag, outMsgs[d]); err != nil {
 				return rd, err
 			}
+			outMsgs[d] = record.Slice{}
 		}
-		rd.inMsgs = make([]record.Slice, P)
+		for d := 0; d < P; d++ {
+			pool.Put(outMsgs[d]) // unsent (pattern says empty) buffers recycle
+		}
+		record.PutHeaders(outMsgs)
+		rd.inMsgs = record.GetHeaders(P)
 		for q := 0; q < P; q++ {
 			srcCol := rd.t*P + q
 			for _, d := range spec.targetProcs(srcCol) {
@@ -155,53 +195,59 @@ func runScatterPass(pr *cluster.Proc, pl Plan, spec scatterSpec, in, out *pdm.St
 		return rd, nil
 	}
 
+	var recvPlans []recvPlan // stage scratch, per source, column-dependent passes
+	slotCounts := make([]int32, nSlots)
+	fills := make([]int32, nSlots)
 	permute := func(rd scatterRound) (scatterRound, error) {
 		// Receiver-side replay of the oblivious pattern: scan each source
 		// column of this round in sorted order; records destined to one of
-		// this processor's columns arrive in exactly that order.
-		rd.writes = make(map[int]record.Slice)
-		counts := make(map[int]int)
-		for q := 0; q < P; q++ {
-			if rd.inMsgs[q].Data == nil {
-				continue
-			}
-			srcCol := rd.t*P + q
-			for i := 0; i < r; i++ {
-				tj := spec.destCol(i, srcCol)
-				if tj%P == p {
-					counts[tj]++
-				}
-			}
+		// this processor's columns arrive in exactly that order. The plans
+		// reduce the replay to one copy per (source, slot) extent.
+		if recvPlans == nil && !spec.colInvariant {
+			recvPlans = make([]recvPlan, P)
 		}
-		fills := make(map[int]int)
-		for tj, n := range counts {
-			rd.writes[tj] = record.Make(n, z)
-			fills[tj] = 0
+		for k := range slotCounts {
+			slotCounts[k] = 0
 		}
 		for q := 0; q < P; q++ {
 			msg := rd.inMsgs[q]
 			if msg.Data == nil {
 				continue
 			}
-			srcCol := rd.t*P + q
-			next := 0
-			for i := 0; i < r; i++ {
-				tj := spec.destCol(i, srcCol)
-				if tj%P != p {
-					continue
-				}
-				if next >= msg.Len() {
-					return rd, fmt.Errorf("core: %s: message from %d shorter than pattern", spec.name, q)
-				}
-				rd.writes[tj].CopyRecord(fills[tj], msg, next)
-				fills[tj]++
-				next++
+			rp := &sharedRecv
+			if !spec.colInvariant {
+				rp = &recvPlans[q]
+				rp.build(spec.destCol, rd.t*P+q, r, nSlots, P, p)
 			}
-			if next != msg.Len() {
-				return rd, fmt.Errorf("core: %s: message from %d has %d records, pattern used %d", spec.name, q, msg.Len(), next)
+			if msg.Len() != rp.total {
+				return rd, fmt.Errorf("core: %s: message from %d has %d records, pattern wants %d",
+					spec.name, q, msg.Len(), rp.total)
 			}
-			cPerm.MovedBytes += int64(msg.Len() * z)
+			for k, c := range rp.counts {
+				slotCounts[k] += c
+			}
 		}
+		rd.writes = record.GetHeaders(nSlots)
+		for k := range rd.writes {
+			if slotCounts[k] > 0 {
+				rd.writes[k] = pool.Get(int(slotCounts[k]), z)
+			}
+			fills[k] = 0
+		}
+		for q := 0; q < P; q++ {
+			msg := rd.inMsgs[q]
+			if msg.Data == nil {
+				continue
+			}
+			rp := &sharedRecv
+			if !spec.colInvariant {
+				rp = &recvPlans[q]
+			}
+			replayExtents(rd.writes, fills, msg, rp.exts, z)
+			cPerm.MovedBytes += int64(msg.Len() * z)
+			pool.Put(msg)
+		}
+		record.PutHeaders(rd.inMsgs)
 		rd.inMsgs = nil
 		return rd, nil
 	}
@@ -209,16 +255,19 @@ func runScatterPass(pr *cluster.Proc, pl Plan, spec scatterSpec, in, out *pdm.St
 	write := func(rd scatterRound) error {
 		// Deterministic order over owned columns keeps the on-disk arrival
 		// order reproducible.
-		for tj := p; tj < s; tj += P {
-			chunk, ok := rd.writes[tj]
-			if !ok {
+		for k := 0; k < nSlots; k++ {
+			chunk := rd.writes[k]
+			if chunk.Data == nil || chunk.Len() == 0 {
 				continue
 			}
-			if err := out.WriteRows(&cWrite, p, tj, nextFree[tj], chunk); err != nil {
+			if err := out.WriteRows(&cWrite, p, p+k*P, nextFree[k], chunk); err != nil {
 				return err
 			}
-			nextFree[tj] += chunk.Len()
+			nextFree[k] += chunk.Len()
+			pool.Put(chunk)
 		}
+		record.PutHeaders(rd.writes)
+		rd.writes = nil
 		return nil
 	}
 
@@ -239,9 +288,9 @@ func runScatterPass(pr *cluster.Proc, pl Plan, spec scatterSpec, in, out *pdm.St
 		return fmt.Errorf("core: %s pass: %w", spec.name, err)
 	}
 	// Every owned column must have been filled exactly.
-	for tj := p; tj < s; tj += P {
-		if nextFree[tj] != r {
-			return fmt.Errorf("core: %s pass: column %d received %d of %d records", spec.name, tj, nextFree[tj], r)
+	for k := 0; k < nSlots; k++ {
+		if nextFree[k] != r {
+			return fmt.Errorf("core: %s pass: column %d received %d of %d records", spec.name, p+k*P, nextFree[k], r)
 		}
 	}
 	return nil

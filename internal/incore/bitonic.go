@@ -17,16 +17,21 @@ import (
 //
 // It performs lg P·(lg P+1)/2 full-block exchanges, which is why the paper
 // found it consistently slower than in-core columnsort (experiment E6).
-type Bitonic struct{}
+type Bitonic struct {
+	Pool    *record.Pool     // optional buffer pool (nil: allocate per call)
+	Scratch *sortalg.Scratch // optional sort scratch; NOT concurrency-safe
+}
 
 func (Bitonic) Name() string { return "bitonic" }
 
-func (Bitonic) Sort(pr Comm, cnt *sim.Counters, tagBase int, local record.Slice) (record.Slice, error) {
+func (bs Bitonic) Sort(pr Comm, cnt *sim.Counters, tagBase int, local record.Slice) (record.Slice, error) {
 	p, rank := pr.NProcs(), pr.Rank()
 	n := local.Len()
 	z := local.Size
-	cur := record.Make(n, z)
-	sortalg.SortInto(cur, local)
+	pool, sc := bs.Pool, scratchOf(bs.Scratch)
+	cur := pool.Get(n, z)
+	sc.SortInto(cur, local)
+	pool.Put(local)
 	cnt.CompareUnits += sim.SortWork(n)
 	cnt.MovedBytes += int64(len(cur.Data))
 	if p == 1 {
@@ -36,7 +41,7 @@ func (Bitonic) Sort(pr Comm, cnt *sim.Counters, tagBase int, local record.Slice)
 		return record.Slice{}, fmt.Errorf("incore: bitonic needs a power-of-two processor count, got %d", p)
 	}
 
-	merged := record.Make(2*n, z)
+	merged := pool.Get(2*n, z)
 	tag := tagBase
 	for k := 2; k <= p; k <<= 1 {
 		for j := k >> 1; j > 0; j >>= 1 {
@@ -45,7 +50,7 @@ func (Bitonic) Sort(pr Comm, cnt *sim.Counters, tagBase int, local record.Slice)
 			keepLow := (rank < partner) == ascending
 
 			// Exchange whole blocks with the partner.
-			outBuf := record.Make(n, z)
+			outBuf := pool.Get(n, z)
 			outBuf.Copy(cur)
 			cnt.MovedBytes += int64(len(outBuf.Data))
 			if err := pr.Send(cnt, partner, tag, outBuf); err != nil {
@@ -58,6 +63,7 @@ func (Bitonic) Sort(pr Comm, cnt *sim.Counters, tagBase int, local record.Slice)
 			tag++
 
 			sortalg.MergeInto(merged, cur, theirs)
+			pool.Put(theirs)
 			cnt.CompareUnits += sim.MergeWork(2*n, 2)
 			cnt.MovedBytes += int64(len(merged.Data))
 			if keepLow {
@@ -67,6 +73,7 @@ func (Bitonic) Sort(pr Comm, cnt *sim.Counters, tagBase int, local record.Slice)
 			}
 		}
 	}
+	pool.Put(merged)
 	return cur, nil
 }
 

@@ -11,6 +11,13 @@
 // sorted with a block distribution. All communication is tagged within a
 // caller-supplied tag window so that concurrent pipeline rounds never
 // collide.
+//
+// Each sorter optionally carries a buffer Pool and a sort Scratch; when
+// set, the sorter consumes its input buffer into the pool, draws every
+// working and message buffer from it, and recycles received messages, so
+// repeated sorts (one per pipeline round) allocate nothing in steady
+// state. The zero value of each sorter allocates per call, preserving the
+// old behaviour.
 package incore
 
 import (
@@ -47,8 +54,18 @@ type Sorter interface {
 	// Name identifies the algorithm in reports and benchmarks.
 	Name() string
 	// Sort sorts the distributed array. It consumes local (ownership may
-	// move into messages) and returns the processor's sorted block.
+	// move into messages or, for pooled sorters, back into the pool) and
+	// returns the processor's sorted block, which the caller owns.
 	Sort(pr Comm, cnt *sim.Counters, tagBase int, local record.Slice) (record.Slice, error)
+}
+
+// scratchOf returns sc, or a transient scratch when the sorter was built
+// without one.
+func scratchOf(sc *sortalg.Scratch) *sortalg.Scratch {
+	if sc == nil {
+		return new(sortalg.Scratch)
+	}
+	return sc
 }
 
 // Columnsort is the paper's choice: in-core columnsort on an (M/P)×P
@@ -56,7 +73,10 @@ type Sorter interface {
 // P | n and the height restriction n ≥ 2P² (checked at run time), and
 // sends ~2.5 column volumes over the network per sort — the least of the
 // three algorithms.
-type Columnsort struct{}
+type Columnsort struct {
+	Pool    *record.Pool     // optional buffer pool (nil: allocate per call)
+	Scratch *sortalg.Scratch // optional sort scratch; NOT concurrency-safe
+}
 
 func (Columnsort) Name() string { return "incore-columnsort" }
 
@@ -75,9 +95,11 @@ func (Columnsort) CheckShape(n, p int) error {
 func (cs Columnsort) Sort(pr Comm, cnt *sim.Counters, tagBase int, local record.Slice) (record.Slice, error) {
 	p := pr.NProcs()
 	n := local.Len()
+	pool, sc := cs.Pool, scratchOf(cs.Scratch)
 	if p == 1 {
-		out := record.Make(n, local.Size)
-		sortalg.SortInto(out, local)
+		out := pool.Get(n, local.Size)
+		sc.SortInto(out, local)
+		pool.Put(local)
 		cnt.CompareUnits += sim.SortWork(n)
 		cnt.MovedBytes += int64(len(out.Data))
 		return out, nil
@@ -89,8 +111,9 @@ func (cs Columnsort) Sort(pr Comm, cnt *sim.Counters, tagBase int, local record.
 	chunk := n / p
 
 	// Step 1: local sort.
-	cur := record.Make(n, z)
-	sortalg.SortInto(cur, local)
+	cur := pool.Get(n, z)
+	sc.SortInto(cur, local)
+	pool.Put(local)
 	cnt.CompareUnits += sim.SortWork(n)
 	cnt.MovedBytes += int64(len(cur.Data))
 
@@ -98,9 +121,9 @@ func (cs Columnsort) Sort(pr Comm, cnt *sim.Counters, tagBase int, local record.
 	// goes to column (i mod P) at local position q·(n/P) + ⌊i/P⌋. Send the
 	// records with i ≡ d (mod P) to processor d, in increasing i order;
 	// the batch from source q lands contiguously at [q·n/P, (q+1)·n/P).
-	out := make([]record.Slice, p)
+	out := record.GetHeaders(p)
 	for d := 0; d < p; d++ {
-		buf := record.Make(chunk, z)
+		buf := pool.Get(chunk, z)
 		for k := 0; k < chunk; k++ {
 			buf.CopyRecord(k, cur, k*p+d)
 		}
@@ -109,16 +132,19 @@ func (cs Columnsort) Sort(pr Comm, cnt *sim.Counters, tagBase int, local record.
 	}
 	in, err := pr.AllToAll(cnt, tagBase+0, out)
 	if err != nil {
+		record.PutHeaders(out)
 		return record.Slice{}, err
 	}
 	for q := 0; q < p; q++ {
 		copy(cur.Data[q*chunk*z:(q+1)*chunk*z], in[q].Data)
+		pool.Put(in[q])
 	}
+	record.PutHeaders(in)
 	cnt.MovedBytes += int64(len(cur.Data))
 
 	// Step 3: local sort.
-	tmp := record.Make(n, z)
-	sortalg.SortInto(tmp, cur)
+	tmp := pool.Get(n, z)
+	sc.SortInto(tmp, cur)
 	cur, tmp = tmp, cur
 	cnt.CompareUnits += sim.SortWork(n)
 	cnt.MovedBytes += int64(len(cur.Data))
@@ -127,12 +153,13 @@ func (cs Columnsort) Sort(pr Comm, cnt *sim.Counters, tagBase int, local record.
 	// of column q goes to column d, landing at local positions ≡ q (mod P)
 	// in chunk order.
 	for d := 0; d < p; d++ {
-		buf := record.Make(chunk, z)
+		buf := pool.Get(chunk, z)
 		copy(buf.Data, cur.Data[d*chunk*z:(d+1)*chunk*z])
 		cnt.MovedBytes += int64(len(buf.Data))
 		out[d] = buf
 	}
 	in, err = pr.AllToAll(cnt, tagBase+1, out)
+	record.PutHeaders(out)
 	if err != nil {
 		return record.Slice{}, err
 	}
@@ -140,15 +167,18 @@ func (cs Columnsort) Sort(pr Comm, cnt *sim.Counters, tagBase int, local record.
 		for k := 0; k < chunk; k++ {
 			cur.CopyRecord(k*p+q, in[q], k)
 		}
+		pool.Put(in[q])
 	}
+	record.PutHeaders(in)
 	cnt.MovedBytes += int64(len(cur.Data))
 
 	// Steps 5–8: local sort, then fused boundary merges with neighbours.
-	sortalg.SortInto(tmp, cur)
+	sc.SortInto(tmp, cur)
 	cur, tmp = tmp, cur
+	pool.Put(tmp)
 	cnt.CompareUnits += sim.SortWork(n)
 	cnt.MovedBytes += int64(len(cur.Data))
-	if err := BoundaryMerge(pr, cnt, tagBase+2, cur); err != nil {
+	if err := boundaryMerge(pr, cnt, tagBase+2, cur, pool); err != nil {
 		return record.Slice{}, err
 	}
 	return cur, nil
@@ -161,6 +191,12 @@ func (cs Columnsort) Sort(pr Comm, cnt *sim.Counters, tagBase int, local record.
 // It uses two tags: tagBase (bottom halves moving right) and tagBase+1
 // (final bottoms moving left).
 func BoundaryMerge(pr Comm, cnt *sim.Counters, tagBase int, local record.Slice) error {
+	return boundaryMerge(pr, cnt, tagBase, local, nil)
+}
+
+// boundaryMerge is BoundaryMerge drawing its half-column and merge buffers
+// from pool (nil: allocate per call).
+func boundaryMerge(pr Comm, cnt *sim.Counters, tagBase int, local record.Slice, pool *record.Pool) error {
 	p, q := pr.NProcs(), pr.Rank()
 	n := local.Len()
 	if p == 1 || n == 0 {
@@ -174,7 +210,7 @@ func BoundaryMerge(pr Comm, cnt *sim.Counters, tagBase int, local record.Slice) 
 
 	// Ship my bottom half right.
 	if q < p-1 {
-		bot := record.Make(h, z)
+		bot := pool.Get(h, z)
 		bot.Copy(local.Sub(h, n))
 		cnt.MovedBytes += int64(len(bot.Data))
 		if err := pr.Send(cnt, q+1, tagBase, bot); err != nil {
@@ -187,15 +223,17 @@ func BoundaryMerge(pr Comm, cnt *sim.Counters, tagBase int, local record.Slice) 
 		if err != nil {
 			return err
 		}
-		merged := record.Make(n, z)
+		merged := pool.Get(n, z)
 		sortalg.MergeInto(merged, prevBot, local.Sub(0, h))
+		pool.Put(prevBot)
 		cnt.CompareUnits += sim.MergeWork(n, 2)
 		cnt.MovedBytes += int64(len(merged.Data))
 		// High half becomes my final top; low half is the left
 		// neighbour's final bottom.
 		local.Sub(0, h).Copy(merged.Sub(h, n))
-		back := record.Make(h, z)
+		back := pool.Get(h, z)
 		back.Copy(merged.Sub(0, h))
+		pool.Put(merged)
 		if err := pr.Send(cnt, q-1, tagBase+1, back); err != nil {
 			return err
 		}
@@ -208,6 +246,7 @@ func BoundaryMerge(pr Comm, cnt *sim.Counters, tagBase int, local record.Slice) 
 			return err
 		}
 		local.Sub(h, n).Copy(fin)
+		pool.Put(fin)
 		cnt.MovedBytes += int64(h * z)
 	}
 	return nil

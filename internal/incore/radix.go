@@ -20,7 +20,9 @@ import (
 // ties keep their prior relative order rather than the payload total order)
 // and because columnsort's communication is oblivious to key values
 // (experiment E6).
-type Radix struct{}
+type Radix struct {
+	Pool *record.Pool // optional buffer pool (nil: allocate per call)
+}
 
 func (Radix) Name() string { return "radix" }
 
@@ -30,12 +32,14 @@ const (
 	radixPasses  = 64 / radixBits
 )
 
-func (Radix) Sort(pr Comm, cnt *sim.Counters, tagBase int, local record.Slice) (record.Slice, error) {
+func (rs Radix) Sort(pr Comm, cnt *sim.Counters, tagBase int, local record.Slice) (record.Slice, error) {
 	p, rank := pr.NProcs(), pr.Rank()
 	n := local.Len()
 	z := local.Size
-	cur := record.Make(n, z)
+	pool := rs.Pool
+	cur := pool.Get(n, z)
 	cur.Copy(local)
+	pool.Put(local)
 	cnt.MovedBytes += int64(len(cur.Data))
 	if n == 0 || p > radixBuckets {
 		if p > radixBuckets {
@@ -45,6 +49,9 @@ func (Radix) Sort(pr Comm, cnt *sim.Counters, tagBase int, local record.Slice) (
 	}
 
 	hist := make([]int64, radixBuckets)
+	counts := make([]int, p)
+	fill := make([]int, p)
+	dests := make([]int64, n)
 	for pass := 0; pass < radixPasses; pass++ {
 		shift := uint(pass * radixBits)
 		tag := tagBase + pass*8
@@ -57,7 +64,7 @@ func (Radix) Sort(pr Comm, cnt *sim.Counters, tagBase int, local record.Slice) (
 			hist[(cur.Key(i)>>shift)&(radixBuckets-1)]++
 		}
 
-		starts, err := globalStarts(pr, cnt, tag, hist)
+		starts, err := globalStarts(pr, cnt, tag, hist, pool)
 		if err != nil {
 			return record.Slice{}, err
 		}
@@ -65,18 +72,18 @@ func (Radix) Sort(pr Comm, cnt *sim.Counters, tagBase int, local record.Slice) (
 		// Compute each record's destination rank (stable: local order
 		// preserved within a bucket) and pack (rank, record) envelopes
 		// per destination processor.
-		counts := make([]int, p)
-		dests := make([]int64, n)
+		for q := 0; q < p; q++ {
+			counts[q], fill[q] = 0, 0
+		}
 		for i := 0; i < n; i++ {
 			b := (cur.Key(i) >> shift) & (radixBuckets - 1)
 			dests[i] = starts[b]
 			starts[b]++
 			counts[dests[i]/int64(n)]++
 		}
-		out := make([]record.Slice, p)
-		fill := make([]int, p)
+		out := record.GetHeaders(p)
 		for q := 0; q < p; q++ {
-			out[q] = record.Make(counts[q], z+8)
+			out[q] = pool.Get(counts[q], z+8)
 		}
 		for i := 0; i < n; i++ {
 			q := int(dests[i] / int64(n))
@@ -88,6 +95,7 @@ func (Radix) Sort(pr Comm, cnt *sim.Counters, tagBase int, local record.Slice) (
 		cnt.MovedBytes += int64(n * (z + 8))
 
 		in, err := pr.AllToAll(cnt, tag+4, out)
+		record.PutHeaders(out)
 		if err != nil {
 			return record.Slice{}, err
 		}
@@ -104,7 +112,9 @@ func (Radix) Sort(pr Comm, cnt *sim.Counters, tagBase int, local record.Slice) (
 				copy(cur.Record(int(pos)), env[8:])
 				got++
 			}
+			pool.Put(batch)
 		}
+		record.PutHeaders(in)
 		if got != n {
 			return record.Slice{}, fmt.Errorf("incore: radix pass %d delivered %d of %d records", pass, got, n)
 		}
@@ -122,8 +132,9 @@ func (Radix) Sort(pr Comm, cnt *sim.Counters, tagBase int, local record.Slice) (
 // (bucket ranges scattered over processors), a tiny allgather of the P
 // range totals for the cross-range prefix, and a personalized scatter of
 // the start offsets back to their owners. Each processor moves O(B) bytes
-// regardless of P. Tags used: tag..tag+3.
-func globalStarts(pr Comm, cnt *sim.Counters, tag int, hist []int64) ([]int64, error) {
+// regardless of P. Tags used: tag..tag+3. Message buffers cycle through
+// pool (nil: allocate per call).
+func globalStarts(pr Comm, cnt *sim.Counters, tag int, hist []int64, pool *record.Pool) ([]int64, error) {
 	p, rank := pr.NProcs(), pr.Rank()
 	b := len(hist)
 	if p == 1 {
@@ -142,15 +153,16 @@ func globalStarts(pr Comm, cnt *sim.Counters, tag int, hist []int64) ([]int64, e
 
 	// Reduce-scatter: processor d collects everyone's counts for its
 	// bucket range [d·chunk, (d+1)·chunk).
-	out := make([]record.Slice, p)
+	out := record.GetHeaders(p)
 	for d := 0; d < p; d++ {
-		buf := record.Make(chunk, record.MinSize)
+		buf := pool.Get(chunk, record.MinSize)
 		for k := 0; k < chunk; k++ {
 			buf.SetKey(k, uint64(hist[d*chunk+k]))
 		}
 		out[d] = buf
 	}
 	in, err := pr.AllToAll(cnt, tag, out)
+	record.PutHeaders(out)
 	if err != nil {
 		return nil, err
 	}
@@ -164,7 +176,7 @@ func globalStarts(pr Comm, cnt *sim.Counters, tag int, hist []int64) ([]int64, e
 	}
 
 	// Allgather range totals (P scalars) for the cross-range base.
-	mine := record.Make(1, record.MinSize)
+	mine := pool.Get(1, record.MinSize)
 	mine.SetKey(0, uint64(rangeTotal))
 	totals, err := pr.Gather(cnt, 0, tag+1, mine)
 	if err != nil {
@@ -172,10 +184,12 @@ func globalStarts(pr Comm, cnt *sim.Counters, tag int, hist []int64) ([]int64, e
 	}
 	var allTotals record.Slice
 	if rank == 0 {
-		flat := record.Make(p, record.MinSize)
+		flat := pool.Get(p, record.MinSize)
 		for q := 0; q < p; q++ {
 			flat.SetKey(q, totals[q].Key(0))
+			pool.Put(totals[q])
 		}
+		record.PutHeaders(totals)
 		allTotals, err = pr.Broadcast(cnt, 0, tag+2, flat)
 	} else {
 		allTotals, err = pr.Broadcast(cnt, 0, tag+2, record.Slice{})
@@ -187,12 +201,13 @@ func globalStarts(pr Comm, cnt *sim.Counters, tag int, hist []int64) ([]int64, e
 	for d := 0; d < rank; d++ {
 		base += int64(allTotals.Key(d))
 	}
+	pool.Put(allTotals)
 
 	// Within my range, scan (bucket-major, then source processor) and
 	// produce each source's start offsets; scatter them back.
-	back := make([]record.Slice, p)
+	back := record.GetHeaders(p)
 	for q := 0; q < p; q++ {
-		back[q] = record.Make(chunk, record.MinSize)
+		back[q] = pool.Get(chunk, record.MinSize)
 	}
 	run := base
 	for k := 0; k < chunk; k++ {
@@ -201,7 +216,12 @@ func globalStarts(pr Comm, cnt *sim.Counters, tag int, hist []int64) ([]int64, e
 			run += int64(in[q].Key(k))
 		}
 	}
+	for q := 0; q < p; q++ {
+		pool.Put(in[q])
+	}
+	record.PutHeaders(in)
 	got, err := pr.AllToAll(cnt, tag+3, back)
+	record.PutHeaders(back)
 	if err != nil {
 		return nil, err
 	}
@@ -210,6 +230,8 @@ func globalStarts(pr Comm, cnt *sim.Counters, tag int, hist []int64) ([]int64, e
 		for k := 0; k < chunk; k++ {
 			starts[d*chunk+k] = int64(got[d].Key(k))
 		}
+		pool.Put(got[d])
 	}
+	record.PutHeaders(got)
 	return starts, nil
 }

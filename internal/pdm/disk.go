@@ -41,27 +41,41 @@ func (d *MemDisk) ReadAt(p []byte, off int64) error {
 	if off < 0 {
 		return fmt.Errorf("pdm: negative offset %d", off)
 	}
-	for i := range p {
-		pos := off + int64(i)
-		if pos < int64(len(d.data)) {
-			p[i] = d.data[pos]
-		} else {
-			p[i] = 0
-		}
+	n := 0
+	if off < int64(len(d.data)) {
+		n = copy(p, d.data[off:])
+	}
+	for i := n; i < len(p); i++ {
+		p[i] = 0
 	}
 	return nil
 }
 
-// WriteAt copies p onto the disk, growing it as needed.
+// WriteAt copies p onto the disk, growing it as needed. Growth doubles the
+// backing capacity so a sequence of extending writes (the append-heavy
+// arrival-order write pattern of every pass) costs amortized O(1) copies
+// per byte instead of re-copying the whole extent each time.
 func (d *MemDisk) WriteAt(p []byte, off int64) error {
 	if off < 0 {
 		return fmt.Errorf("pdm: negative offset %d", off)
 	}
 	end := off + int64(len(p))
 	if end > int64(len(d.data)) {
-		grown := make([]byte, end)
-		copy(grown, d.data)
-		d.data = grown
+		if end <= int64(cap(d.data)) {
+			ext := d.data[len(d.data):end]
+			for i := range ext {
+				ext[i] = 0
+			}
+			d.data = d.data[:end]
+		} else {
+			newCap := 2 * int64(cap(d.data))
+			if newCap < end {
+				newCap = end
+			}
+			grown := make([]byte, end, newCap)
+			copy(grown, d.data)
+			d.data = grown
+		}
 	}
 	copy(d.data[off:end], p)
 	return nil

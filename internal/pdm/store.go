@@ -2,6 +2,7 @@ package pdm
 
 import (
 	"fmt"
+	"sync"
 
 	"colsort/internal/record"
 	"colsort/internal/sim"
@@ -50,6 +51,9 @@ type Store struct {
 	Layout  Layout
 	G       int          // group size; meaningful for GroupBlocked only
 	Arrays  []*DiskArray // one per processor
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // NewStore validates the shape against the layout and wraps the arrays.
@@ -218,6 +222,12 @@ type Machine struct {
 	D           int
 	StripeBytes int
 	Backend     Backend
+
+	// Pools, when non-nil, holds one buffer pool per processor — the
+	// machine's node-local memory. Runs sharing a Machine then also share
+	// warm buffer pools, so repeated sorts on one Sorter allocate only on
+	// their first pass. Nil machines get per-run pools.
+	Pools []*record.Pool
 }
 
 // DefaultStripeBytes is the striping unit used when none is specified.
@@ -270,15 +280,18 @@ func (m Machine) NewGroupStore(r, s, recSize, g int) (*Store, error) {
 	return NewGroupStore(r, s, recSize, m.P, g, arrays)
 }
 
-// Close closes every array of the store.
+// Close closes every array of the store. It is idempotent: the run loop
+// releases consumed intermediate stores as soon as their pass completes,
+// and error paths may close the same store again.
 func (st *Store) Close() error {
-	var first error
-	for _, a := range st.Arrays {
-		if err := a.Close(); err != nil && first == nil {
-			first = err
+	st.closeOnce.Do(func() {
+		for _, a := range st.Arrays {
+			if err := a.Close(); err != nil && st.closeErr == nil {
+				st.closeErr = err
+			}
 		}
-	}
-	return first
+	})
+	return st.closeErr
 }
 
 // Fill populates the store from a generator, assigning global index

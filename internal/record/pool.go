@@ -1,0 +1,173 @@
+package record
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Pool is a size-classed free list of record buffers, the fixed buffer pool
+// of the paper's threaded implementation: every pipeline stage Gets its
+// column, message, and write buffers from the pool and Puts them back when
+// the records have moved on, so the steady state of a pass performs no
+// allocator work at all. Buffers are classed by power-of-two byte capacity;
+// a Get that misses its class allocates a buffer whose capacity is the full
+// class size, so the buffer is reusable for any request of the class.
+//
+// A Pool is safe for concurrent use; the out-of-core passes share one pool
+// per processor across all pipeline-stage goroutines. Buffers may migrate
+// between processors (a message buffer is Get from the sender's pool and
+// Put into the receiver's): a Pool places no provenance requirement on the
+// buffers it is handed.
+//
+// Ownership discipline: Put only a Slice you own outright — the value
+// returned by Get (or Make, or received from a message), never a Sub view
+// whose parent is still live, and never a buffer another goroutine can
+// still reach. A nil *Pool is valid and degenerates to plain allocation:
+// Get falls back to Make and Put drops the buffer, so pooling can be
+// threaded through code paths optionally.
+type Pool struct {
+	mu      sync.Mutex
+	classes [poolClasses][][]byte
+}
+
+// poolClasses bounds the largest class at 2^47 bytes, far beyond any
+// simulated column buffer.
+const poolClasses = 48
+
+// maxPerClass bounds the free buffers retained per size class. The pipeline
+// depth bounds how many buffers of a class are ever simultaneously live, so
+// a small multiple of it suffices; anything beyond is released to the GC.
+const maxPerClass = 32
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// empty is the zero-length backing of Get(0, size), non-nil so that callers
+// distinguishing "no message" (nil Data) from "empty message" keep working.
+var empty = make([]byte, 0)
+
+// Get returns a Slice of n records of the given size, reusing a pooled
+// buffer when one is available. The contents are NOT zeroed: callers must
+// fully overwrite the records they read.
+func (p *Pool) Get(n, size int) Slice {
+	if p == nil {
+		return Make(n, size)
+	}
+	if err := CheckSize(size); err != nil {
+		panic(err)
+	}
+	if n == 0 {
+		return Slice{Data: empty, Size: size}
+	}
+	need := n * size
+	k := bits.Len(uint(need - 1)) // ceil(log2(need))
+	if k >= poolClasses {
+		return Make(n, size)
+	}
+	p.mu.Lock()
+	free := p.classes[k]
+	if ln := len(free); ln > 0 {
+		buf := free[ln-1]
+		free[ln-1] = nil
+		p.classes[k] = free[:ln-1]
+		p.mu.Unlock()
+		return Slice{Data: buf[:need], Size: size}
+	}
+	p.mu.Unlock()
+	return Slice{Data: make([]byte, need, 1<<k), Size: size}
+}
+
+// Put returns a buffer to the pool. The buffer's full capacity is recycled:
+// a later Get may return it at any length up to that capacity. Putting an
+// empty or over-large buffer is a no-op, so Put(s) is always safe on a
+// Slice obtained from Get.
+func (p *Pool) Put(s Slice) {
+	if p == nil {
+		return
+	}
+	c := cap(s.Data)
+	if c < MinSize {
+		return
+	}
+	k := bits.Len(uint(c)) - 1 // floor(log2(cap)): cap ∈ [2^k, 2^(k+1))
+	if k >= poolClasses {
+		return
+	}
+	buf := s.Data[:c]
+	p.mu.Lock()
+	if len(p.classes[k]) < maxPerClass {
+		p.classes[k] = append(p.classes[k], buf)
+	}
+	p.mu.Unlock()
+}
+
+// FreeBuffers reports the number of idle buffers currently held, for tests
+// and introspection.
+func (p *Pool) FreeBuffers() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0
+	for _, c := range p.classes {
+		total += len(c)
+	}
+	return total
+}
+
+// headerFree recycles the small []Slice scratch arrays (per-destination
+// message vectors, per-column write vectors) that travel between pipeline
+// stages alongside pooled record buffers. A plain free list rather than a
+// sync.Pool: the arrays are tiny but requested on every pipeline round, and
+// sync.Pool's per-GC clearing would turn each collection into a fresh burst
+// of allocations.
+var (
+	headerMu   sync.Mutex
+	headerFree [][]Slice
+)
+
+const maxFreeHeaders = 256
+
+// GetHeaders returns a []Slice of length n with all elements zeroed.
+func GetHeaders(n int) []Slice {
+	headerMu.Lock()
+	for ln := len(headerFree); ln > 0; ln = len(headerFree) {
+		h := headerFree[ln-1]
+		headerFree[ln-1] = nil
+		headerFree = headerFree[:ln-1]
+		if cap(h) < n {
+			continue // too small: drop and keep popping
+		}
+		headerMu.Unlock()
+		h = h[:n]
+		for i := range h {
+			h[i] = Slice{}
+		}
+		return h
+	}
+	headerMu.Unlock()
+	return make([]Slice, n)
+}
+
+// PutHeaders recycles a []Slice obtained from GetHeaders. The caller must
+// not retain the slice (or any alias of it) afterwards.
+func PutHeaders(h []Slice) {
+	if cap(h) == 0 {
+		return
+	}
+	headerMu.Lock()
+	if len(headerFree) < maxFreeHeaders {
+		headerFree = append(headerFree, h[:0])
+	}
+	headerMu.Unlock()
+}
+
+// NewPools builds one pool per processor of a simulated machine.
+func NewPools(p int) []*Pool {
+	pools := make([]*Pool, p)
+	for i := range pools {
+		pools[i] = NewPool()
+	}
+	return pools
+}

@@ -1,0 +1,96 @@
+package record
+
+import "testing"
+
+func TestPoolRoundTrip(t *testing.T) {
+	p := NewPool()
+	s := p.Get(100, 16)
+	if s.Len() != 100 || s.Size != 16 {
+		t.Fatalf("Get(100, 16) = %d×%dB", s.Len(), s.Size)
+	}
+	data := &s.Data[0]
+	p.Put(s)
+	if got := p.FreeBuffers(); got != 1 {
+		t.Fatalf("FreeBuffers = %d after one Put, want 1", got)
+	}
+	// The same backing buffer must come back for a same-class request
+	// (100×16 = 1600 B and 256×8 = 2048 B both class 2048), even at a
+	// different length and record size.
+	s2 := p.Get(256, 8)
+	if &s2.Data[0] != data {
+		t.Error("same-class Get did not reuse the pooled buffer")
+	}
+	if s2.Len() != 256 || s2.Size != 8 {
+		t.Fatalf("Get(256, 8) = %d×%dB", s2.Len(), s2.Size)
+	}
+}
+
+func TestPoolZeroLength(t *testing.T) {
+	p := NewPool()
+	s := p.Get(0, 16)
+	if s.Data == nil {
+		t.Fatal("Get(0, ...) must return non-nil Data (empty message, not absent message)")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Get(0, ...) has %d records", s.Len())
+	}
+	p.Put(s) // must be a no-op, not a corruption of the free lists
+	if got := p.FreeBuffers(); got != 0 {
+		t.Fatalf("FreeBuffers = %d after Put of empty, want 0", got)
+	}
+}
+
+func TestNilPoolFallsBack(t *testing.T) {
+	var p *Pool
+	s := p.Get(10, 16)
+	if s.Len() != 10 {
+		t.Fatalf("nil pool Get: %d records", s.Len())
+	}
+	p.Put(s) // must not panic
+}
+
+func TestPoolForeignBuffer(t *testing.T) {
+	// Buffers that were never Get from a pool (plain Make, received
+	// messages) must be accepted by Put and reusable.
+	p := NewPool()
+	p.Put(Make(100, 16)) // cap 1600: class floor 1024
+	s := p.Get(64, 16)   // need 1024 → class 1024: the foreign buffer fits
+	if s.Len() != 64 {
+		t.Fatalf("Get after foreign Put: %d records", s.Len())
+	}
+}
+
+func TestPoolAllocsSteadyState(t *testing.T) {
+	p := NewPool()
+	p.Put(p.Get(1024, 64)) // warm the class
+	allocs := testing.AllocsPerRun(10, func() {
+		s := p.Get(1024, 64)
+		p.Put(s)
+	})
+	if allocs != 0 {
+		t.Errorf("%v allocs per warm Get/Put cycle, want 0", allocs)
+	}
+}
+
+func TestHeadersRoundTrip(t *testing.T) {
+	h := GetHeaders(8)
+	if len(h) != 8 {
+		t.Fatalf("GetHeaders(8) has length %d", len(h))
+	}
+	h[3] = Make(4, 16)
+	PutHeaders(h)
+	h2 := GetHeaders(4)
+	for i, s := range h2 {
+		if s.Data != nil {
+			t.Fatalf("recycled header %d not zeroed", i)
+		}
+	}
+	PutHeaders(h2)
+	allocs := testing.AllocsPerRun(10, func() {
+		hh := GetHeaders(8)
+		PutHeaders(hh)
+	})
+	if allocs != 0 {
+		t.Errorf("%v allocs per warm GetHeaders/PutHeaders, want 0", allocs)
+	}
+}

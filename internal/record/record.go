@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // KeyBytes is the size of the key prefix of every record.
@@ -117,10 +118,16 @@ func (s Slice) CopyRecord(i int, src Slice, j int) {
 	copy(s.Data[i*s.Size:(i+1)*s.Size], src.Data[j*src.Size:(j+1)*src.Size])
 }
 
-// Swap exchanges records i and j in place. Wide-record swaps are memmove
-// triples; the sorting package avoids them for wide records by sorting
-// (key, index) pairs and gathering, but Swap is needed by small helpers
-// and by sort.Interface adapters.
+// swapScratch recycles the temporary buffer of wide-record swaps so that
+// Swap never allocates in steady state, whatever the record size. (The
+// sorting package avoids whole-record swaps for wide records anyway — it
+// sorts (key, index) pairs and gathers — but Swap is needed by small
+// helpers and by sort.Interface adapters, which must not pay an allocation
+// per call.)
+var swapScratch = sync.Pool{New: func() any { return new([]byte) }}
+
+// Swap exchanges records i and j in place. Records up to 512 bytes swap
+// through a stack buffer; wider records borrow a pooled scratch buffer.
 func (s Slice) Swap(i, j int) {
 	if i == j {
 		return
@@ -134,10 +141,17 @@ func (s Slice) Swap(i, j int) {
 		copy(b, tmp[:s.Size])
 		return
 	}
-	t := make([]byte, s.Size)
+	tp := swapScratch.Get().(*[]byte)
+	t := *tp
+	if cap(t) < s.Size {
+		t = make([]byte, s.Size)
+	}
+	t = t[:s.Size]
 	copy(t, a)
 	copy(a, b)
 	copy(b, t)
+	*tp = t
+	swapScratch.Put(tp)
 }
 
 // Less reports whether record i's key is strictly smaller than record j's.

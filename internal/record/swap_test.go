@@ -1,0 +1,107 @@
+package record
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Wide-record swaps (> 512 bytes, past the stack-buffer fast path) must go
+// through the pooled scratch without corruption or steady-state allocation.
+
+func fillPattern(rec []byte, seed byte) {
+	for i := range rec {
+		rec[i] = seed + byte(i)
+	}
+}
+
+func TestSwapWidePatternPreserved(t *testing.T) {
+	const z = 1024 // > the 512-byte stack buffer
+	s := Make(3, z)
+	fillPattern(s.Record(0), 1)
+	fillPattern(s.Record(1), 2)
+	fillPattern(s.Record(2), 3)
+	want0 := append([]byte(nil), s.Record(0)...)
+	want2 := append([]byte(nil), s.Record(2)...)
+
+	s.Swap(0, 2)
+	if !bytes.Equal(s.Record(0), want2) || !bytes.Equal(s.Record(2), want0) {
+		t.Fatal("wide swap corrupted records")
+	}
+	s.Swap(1, 1) // self-swap must be a no-op
+	fill1 := s.Record(1)
+	for i := range fill1 {
+		if fill1[i] != 2+byte(i) {
+			t.Fatal("self-swap corrupted record 1")
+		}
+	}
+}
+
+func TestSwapWideAllocs(t *testing.T) {
+	const z = 4096
+	s := Make(2, z)
+	fillPattern(s.Record(0), 9)
+	fillPattern(s.Record(1), 17)
+	s.Swap(0, 1) // warm the pooled scratch
+	allocs := testing.AllocsPerRun(10, func() {
+		s.Swap(0, 1)
+	})
+	if allocs != 0 {
+		t.Errorf("%v allocs per wide swap, want 0", allocs)
+	}
+}
+
+func TestSwapNarrowAllocs(t *testing.T) {
+	s := Make(2, 512) // exactly at the stack-buffer boundary
+	allocs := testing.AllocsPerRun(10, func() {
+		s.Swap(0, 1)
+	})
+	if allocs != 0 {
+		t.Errorf("%v allocs per 512-byte swap, want 0", allocs)
+	}
+}
+
+func TestCopyEdgeCases(t *testing.T) {
+	src := Make(4, 16)
+	Fill(src, Uniform{Seed: 1}, 0)
+
+	// Equal sizes: all records copied.
+	dst := Make(4, 16)
+	if n := dst.Copy(src); n != 4 {
+		t.Fatalf("Copy equal: %d records, want 4", n)
+	}
+	if !bytes.Equal(dst.Data, src.Data) {
+		t.Fatal("Copy equal: contents differ")
+	}
+
+	// Shorter destination: truncates to destination length.
+	short := Make(2, 16)
+	if n := short.Copy(src); n != 2 {
+		t.Fatalf("Copy into shorter: %d records, want 2", n)
+	}
+	if !bytes.Equal(short.Data, src.Data[:2*16]) {
+		t.Fatal("Copy into shorter: wrong prefix")
+	}
+
+	// Longer destination: copies only the source records.
+	long := Make(6, 16)
+	if n := long.Copy(src); n != 4 {
+		t.Fatalf("Copy into longer: %d records, want 4", n)
+	}
+
+	// Empty source and destination are no-ops.
+	if n := dst.Copy(Slice{Size: 16}); n != 0 {
+		t.Fatalf("Copy from empty: %d records, want 0", n)
+	}
+	if n := (Slice{Size: 16}).Copy(src); n != 0 {
+		t.Fatalf("Copy into empty: %d records, want 0", n)
+	}
+
+	// CopyRecord between different positions, aliasing-free.
+	a := Make(2, 16)
+	Fill(a, Uniform{Seed: 2}, 0)
+	b := Make(2, 16)
+	b.CopyRecord(1, a, 0)
+	if !bytes.Equal(b.Record(1), a.Record(0)) {
+		t.Fatal("CopyRecord copied wrong bytes")
+	}
+}

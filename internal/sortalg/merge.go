@@ -78,34 +78,15 @@ func DetectRuns(s record.Slice) []Run {
 // MergeRunsInto merges the sorted runs of src into dst in total order.
 // The runs must cover src exactly (the merge checks total count only, since
 // overlapping-run bugs surface immediately in sortedness tests). For k ≤ 2
-// it uses direct merges; otherwise a loser tree.
+// it uses direct merges; otherwise a loser tree. It allocates tree state
+// per call; pipeline code should prefer Scratch.MergeRunsInto.
 func MergeRunsInto(dst, src record.Slice, runs []Run) {
-	checkInto(dst, src)
-	total := 0
-	for _, r := range runs {
-		r.validate(src.Len())
-		total += r.Count
-	}
-	if total != src.Len() {
-		panic(fmt.Sprintf("sortalg: runs cover %d of %d records", total, src.Len()))
-	}
-	switch len(runs) {
-	case 0:
-		return
-	case 1:
-		r := runs[0]
-		for i := 0; i < r.Count; i++ {
-			dst.CopyRecord(i, src, r.Start+i*r.Stride)
-		}
-		return
-	case 2:
-		merge2(dst, src, runs[0], runs[1])
-		return
-	}
-	t := newLoserTree(src, runs)
-	for i := 0; i < total; i++ {
-		dst.CopyRecord(i, src, t.pop())
-	}
+	var sc Scratch
+	sc.MergeRunsInto(dst, src, runs)
+}
+
+func mergeCoverage(total, n int) string {
+	return fmt.Sprintf("sortalg: runs cover %d of %d records", total, n)
 }
 
 // MergeInto merges two independently stored sorted slices a and b into dst.
@@ -166,42 +147,43 @@ func merge2(dst, src record.Slice, ra, rb Run) {
 // ⌈log₂ k⌉ comparisons per extracted record — the standard structure for
 // external-memory merge stages. The run count is padded to a power of two
 // with permanently exhausted dummy runs so the tree is perfect and the
-// leaf-to-parent arithmetic stays trivial.
+// leaf-to-parent arithmetic stays trivial. The next/node arrays are
+// caller-supplied (a Scratch lends its reusable buffers) so that a merge
+// stage allocates nothing in steady state.
 type loserTree struct {
 	src  record.Slice
 	runs []Run
-	next []int // next index within each run
+	next []int // next index within each run (all zero on init)
 	node []int // node[i≥1] = run id of the loser at internal node i; node[0] = winner
 	k    int   // padded (power-of-two) leaf count
 }
 
-func newLoserTree(src record.Slice, runs []Run) *loserTree {
-	k := 1
-	for k < len(runs) {
-		k *= 2
-	}
-	t := &loserTree{src: src, runs: runs, next: make([]int, len(runs)), node: make([]int, k), k: k}
+// init wires the tree onto the given state; next must be zeroed and node
+// must have length k (the power of two ≥ len(runs)).
+func (t *loserTree) init(src record.Slice, runs []Run, next, node []int, k int) {
+	t.src, t.runs, t.next, t.node, t.k = src, runs, next, node, k
 	// Full tournament initialization: internal node i has children 2i and
 	// 2i+1; leaves are node indices k..2k-1 standing for runs 0..k-1.
-	var play func(i int) int
-	play = func(i int) int {
-		if i >= k {
-			r := i - k
-			if r >= len(runs) {
-				return -1 // padding leaf: permanently exhausted
-			}
-			return r
+	t.node[0] = t.play(1)
+}
+
+// play recursively resolves the initial tournament below internal node i,
+// storing losers and returning the winner run id.
+func (t *loserTree) play(i int) int {
+	if i >= t.k {
+		r := i - t.k
+		if r >= len(t.runs) {
+			return -1 // padding leaf: permanently exhausted
 		}
-		wl, wr := play(2*i), play(2*i+1)
-		if t.beats(wl, wr) {
-			t.node[i] = wr
-			return wl
-		}
-		t.node[i] = wl
-		return wr
+		return r
 	}
-	t.node[0] = play(1)
-	return t
+	wl, wr := t.play(2*i), t.play(2*i+1)
+	if t.beats(wl, wr) {
+		t.node[i] = wr
+		return wl
+	}
+	t.node[i] = wl
+	return wr
 }
 
 // cur returns the source position of run r's current record, or -1 if the

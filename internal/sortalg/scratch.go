@@ -1,0 +1,124 @@
+// Scratch state for the sort stages: every pass calls SortInto /
+// MergeRunsInto once per pipeline round, and without reuse each call
+// allocates a fresh (key, index) array (plus a radix ping-pong buffer and
+// loser-tree state). A Scratch owns those buffers and grows them on demand,
+// so the steady state of a pipeline performs no allocation in its sort
+// stage at all.
+
+package sortalg
+
+import "colsort/internal/record"
+
+// Scratch holds the reusable working memory of one sorting client. It is
+// NOT safe for concurrent use: give each pipeline-stage goroutine its own
+// Scratch (they are cheap — buffers grow lazily to the working-set size and
+// are then reused for the life of the stage).
+//
+// The zero value is ready to use.
+type Scratch struct {
+	kvs   []kv  // (key, index) pairs of the buffer being sorted
+	tmp   []kv  // radix ping-pong buffer
+	count []int // radix digit histogram (radixBuckets wide)
+	next  []int // loser tree: next index within each run
+	node  []int // loser tree: internal nodes
+}
+
+func (sc *Scratch) kvBuf(n int) []kv {
+	if cap(sc.kvs) < n {
+		sc.kvs = make([]kv, n)
+	}
+	return sc.kvs[:n]
+}
+
+func (sc *Scratch) tmpBuf(n int) []kv {
+	if cap(sc.tmp) < n {
+		sc.tmp = make([]kv, n)
+	}
+	return sc.tmp[:n]
+}
+
+func (sc *Scratch) intBufs(nRuns, nNodes int) (next, node []int) {
+	if cap(sc.next) < nRuns {
+		sc.next = make([]int, nRuns)
+	}
+	if cap(sc.node) < nNodes {
+		sc.node = make([]int, nNodes)
+	}
+	next, node = sc.next[:nRuns], sc.node[:nNodes]
+	for i := range next {
+		next[i] = 0
+	}
+	return next, node
+}
+
+// SortInto sorts the records of src into dst using introsort, reusing the
+// scratch buffers. dst and src must have the same record size and length
+// and must not alias.
+func (sc *Scratch) SortInto(dst, src record.Slice) {
+	sc.SortIntoAlg(dst, src, Intro)
+}
+
+// SortIntoAlg sorts src into dst with an explicit algorithm choice, reusing
+// the scratch buffers.
+func (sc *Scratch) SortIntoAlg(dst, src record.Slice, alg Algorithm) {
+	n := src.Len()
+	checkInto(dst, src)
+	kvs := sc.kvBuf(n)
+	for i := 0; i < n; i++ {
+		kvs[i] = kv{key: src.Key(i), idx: int32(i)}
+	}
+	switch alg {
+	case Intro:
+		introsort(kvs, src, maxDepth(n))
+	case Radix:
+		if sc.count == nil {
+			sc.count = make([]int, radixBuckets)
+		}
+		radixKV(kvs, src, sc.tmpBuf(n), sc.count)
+	case Heap:
+		heapsortKV(kvs, src)
+	case Insertion:
+		insertionKV(kvs, src, 0, n)
+	default:
+		panic(badAlg(alg))
+	}
+	gather(dst, src, kvs)
+}
+
+// MergeRunsInto merges the sorted runs of src into dst in total order,
+// reusing the scratch's loser-tree state. Semantics match the package-level
+// MergeRunsInto.
+func (sc *Scratch) MergeRunsInto(dst, src record.Slice, runs []Run) {
+	checkInto(dst, src)
+	total := 0
+	for _, r := range runs {
+		r.validate(src.Len())
+		total += r.Count
+	}
+	if total != src.Len() {
+		panic(mergeCoverage(total, src.Len()))
+	}
+	switch len(runs) {
+	case 0:
+		return
+	case 1:
+		r := runs[0]
+		for i := 0; i < r.Count; i++ {
+			dst.CopyRecord(i, src, r.Start+i*r.Stride)
+		}
+		return
+	case 2:
+		merge2(dst, src, runs[0], runs[1])
+		return
+	}
+	k := 1
+	for k < len(runs) {
+		k *= 2
+	}
+	next, node := sc.intBufs(len(runs), k)
+	var t loserTree
+	t.init(src, runs, next, node, k)
+	for i := 0; i < total; i++ {
+		dst.CopyRecord(i, src, t.pop())
+	}
+}

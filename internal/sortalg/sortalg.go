@@ -62,28 +62,20 @@ func (a Algorithm) String() string {
 
 // SortInto sorts the records of src into dst using introsort.
 // dst and src must have the same record size and length and must not alias.
+// It allocates per call; pipeline code should prefer Scratch.SortInto.
 func SortInto(dst, src record.Slice) {
 	SortIntoAlg(dst, src, Intro)
 }
 
-// SortIntoAlg sorts src into dst with an explicit algorithm choice.
+// SortIntoAlg sorts src into dst with an explicit algorithm choice. It
+// allocates per call; pipeline code should prefer Scratch.SortIntoAlg.
 func SortIntoAlg(dst, src record.Slice, alg Algorithm) {
-	n := src.Len()
-	checkInto(dst, src)
-	kvs := makeKV(src)
-	switch alg {
-	case Intro:
-		introsort(kvs, src, maxDepth(n))
-	case Radix:
-		radixKV(kvs, src)
-	case Heap:
-		heapsortKV(kvs, src)
-	case Insertion:
-		insertionKV(kvs, src, 0, n)
-	default:
-		panic(fmt.Sprintf("sortalg: unknown algorithm %d", alg))
-	}
-	gather(dst, src, kvs)
+	var sc Scratch
+	sc.SortIntoAlg(dst, src, alg)
+}
+
+func badAlg(alg Algorithm) string {
+	return fmt.Sprintf("sortalg: unknown algorithm %d", int(alg))
 }
 
 // Sort sorts s in place, allocating a scratch buffer. Prefer SortInto in
@@ -107,15 +99,6 @@ func checkInto(dst, src record.Slice) {
 	if src.Len() > 1<<31-1 {
 		panic("sortalg: buffer exceeds 2^31 records")
 	}
-}
-
-func makeKV(src record.Slice) []kv {
-	n := src.Len()
-	kvs := make([]kv, n)
-	for i := 0; i < n; i++ {
-		kvs[i] = kv{key: src.Key(i), idx: int32(i)}
-	}
-	return kvs
 }
 
 func gather(dst, src record.Slice, kvs []kv) {
@@ -239,18 +222,23 @@ func siftDown(kvs []kv, root, end int, src record.Slice) {
 	}
 }
 
+// radixBuckets is the histogram width of the 16-bit-digit radix passes.
+const radixBuckets = 1 << 16
+
 // radixKV sorts kvs by key with 4 LSD passes of 16-bit digits, then refines
 // equal-key runs with introsort so payload ties respect the total order.
-func radixKV(kvs []kv, src record.Slice) {
+// tmp is the caller-supplied ping-pong buffer, len(tmp) ≥ len(kvs), and
+// count the caller-supplied histogram (the array is 512 KiB — far past the
+// stack limit — so a per-call local would charge the allocator every sort).
+func radixKV(kvs []kv, src record.Slice, tmp []kv, count []int) {
 	n := len(kvs)
 	if n < 2 {
 		return
 	}
-	tmp := make([]kv, n)
 	const bits = 16
-	const buckets = 1 << bits
-	var count [buckets]int
-	a, b := kvs, tmp
+	const buckets = radixBuckets
+	count = count[:buckets]
+	a, b := kvs, tmp[:n]
 	for shift := uint(0); shift < 64; shift += bits {
 		for i := range count {
 			count[i] = 0

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# bench.sh — run the key benchmarks with -benchmem and write a JSON
+# trajectory file (ns/op, MB/s, B/op, allocs/op plus any custom metrics per
+# benchmark) so successive PRs have a perf baseline to compare against.
+#
+# Usage:
+#   scripts/bench.sh [OUTFILE]            # default OUTFILE: BENCH_0.json
+#   BENCHTIME=10x scripts/bench.sh        # override -benchtime (default 3x)
+#   BENCH='^BenchmarkLocalSort$' scripts/bench.sh   # override the selector
+#
+# The JSON shape is:
+#   {"go": "...", "benchtime": "...", "benchmarks": [
+#     {"name": "...", "iters": N, "ns_per_op": ..., "mb_per_s": ...,
+#      "b_per_op": ..., "allocs_per_op": ..., "extra": {"est-s": ...}}]}
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_0.json}"
+BENCHTIME="${BENCHTIME:-3x}"
+BENCH="${BENCH:-^(BenchmarkLocalSort|BenchmarkMergeRuns|BenchmarkE6InCore|BenchmarkFigure2)$}"
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count 1 . | tee "$RAW" >&2
+
+awk -v goversion="$(go env GOVERSION)" -v benchtime="$BENCHTIME" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1; iters = $2
+    std["ns/op"] = ""; std["MB/s"] = ""; std["B/op"] = ""; std["allocs/op"] = ""
+    extra = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        val = $i; unit = $(i + 1)
+        if (unit in std) std[unit] = val
+        else extra = extra (extra == "" ? "" : ", ") "\"" unit "\": " val
+    }
+    line = "    {\"name\": \"" name "\", \"iters\": " iters
+    if (std["ns/op"] != "")     line = line ", \"ns_per_op\": " std["ns/op"]
+    if (std["MB/s"] != "")      line = line ", \"mb_per_s\": " std["MB/s"]
+    if (std["B/op"] != "")      line = line ", \"b_per_op\": " std["B/op"]
+    if (std["allocs/op"] != "") line = line ", \"allocs_per_op\": " std["allocs/op"]
+    if (extra != "")            line = line ", \"extra\": {" extra "}"
+    line = line "}"
+    bench[n++] = line
+}
+END {
+    printf "{\n  \"go\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", goversion, benchtime
+    for (i = 0; i < n; i++) printf "%s%s\n", bench[i], (i < n - 1 ? "," : "")
+    print "  ]\n}"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT" >&2
