@@ -299,6 +299,55 @@ func BenchmarkFileBacked(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure2File is the file-backed counterpart of experiment E1 for
+// the async I/O layer: ingest → threaded 3-pass sort → verify, end to end
+// on FileDisk-backed stores, synchronous vs asynchronous. The "-modeled"
+// variants impose the physical-disk service-time model (100 µs effective
+// seek, 256 MiB/s per disk) below the async layer; on the bare variants the
+// page cache makes file I/O nearly free, so they mostly measure wrapper
+// overhead. The modeled pair is where prefetch and write-behind show up as
+// wall clock: the serial ingest and verify scans engage the P disk arrays
+// concurrently instead of one at a time.
+func BenchmarkFigure2File(b *testing.B) {
+	const p, mem, z = 4, 1 << 12, 64
+	const n = int64(mem) * 16
+	for _, mode := range []struct {
+		name    string
+		async   bool
+		modeled bool
+	}{
+		{"sync", false, false},
+		{"async", true, false},
+		{"sync-modeled", false, true},
+		{"async-modeled", true, true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := Config{Procs: p, MemPerProc: mem, RecordSize: z,
+				Dir: b.TempDir(), Async: mode.async}
+			if mode.modeled {
+				cfg.DiskSeekMicros = 100
+				cfg.DiskMBps = 256
+			}
+			s, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(n * z)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := s.SortGenerated(Threaded, n, record.Uniform{Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := res.Verify(); err != nil {
+					b.Fatal(err)
+				}
+				res.Close()
+			}
+		})
+	}
+}
+
 // TestBenchmarkConfigsEligible guards the benchmark grid: every non-skipped
 // configuration above must plan successfully so `go test -bench` exercises
 // what it claims to.

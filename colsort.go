@@ -30,6 +30,7 @@ package colsort
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"colsort/internal/bounds"
 	"colsort/internal/core"
@@ -76,6 +77,22 @@ type Config struct {
 	// StripeBytes is the striping unit across a processor's disks
 	// (default 64 KiB).
 	StripeBytes int
+	// Async enables the asynchronous disk layer: the passes' known future
+	// access sequence drives read-ahead, and writes retire in the
+	// background with errors surfaced at each pass's flush and at Close.
+	// Operation counts are identical to a synchronous run.
+	Async bool
+	// ReadAhead and WriteBehind bound the per-disk async queues (staged
+	// prefetch extents / buffered writes); 0 selects the defaults.
+	ReadAhead   int
+	WriteBehind int
+	// DiskSeekMicros and DiskMBps, when positive, impose a per-operation
+	// service time on every disk (seek per discontiguous access plus
+	// bytes/bandwidth), modeling physical disks on hardware whose page
+	// cache would otherwise hide I/O cost. The delay sits below the async
+	// layer, so prefetch and write-behind genuinely overlap it.
+	DiskSeekMicros int
+	DiskMBps       int
 }
 
 // Sorter is a configured out-of-core sorting engine.
@@ -97,8 +114,21 @@ func New(cfg Config) (*Sorter, error) {
 	if cfg.Dir != "" {
 		m.Backend = pdm.FileBackend{Dir: cfg.Dir}
 	}
-	if _, err := m.NewArrays(); err != nil {
+	if cfg.Async {
+		m.Async = &pdm.AsyncConfig{ReadAhead: cfg.ReadAhead, WriteBehind: cfg.WriteBehind}
+	}
+	if cfg.DiskSeekMicros > 0 || cfg.DiskMBps > 0 {
+		m.Delay = &pdm.DelayConfig{
+			Seek:        time.Duration(cfg.DiskSeekMicros) * time.Microsecond,
+			BytesPerSec: int64(cfg.DiskMBps) << 20,
+		}
+	}
+	probe, err := m.NewArrays()
+	if err != nil {
 		return nil, err
+	}
+	for _, a := range probe { // validation only: release files and workers
+		a.Close()
 	}
 	return &Sorter{cfg: cfg, m: m}, nil
 }
@@ -192,6 +222,13 @@ func (r *Result) Close() error { return r.Output.Close() }
 // sorts them with the chosen algorithm, and returns the verified-able
 // result. The caller owns Close on the result.
 func (s *Sorter) SortGenerated(alg Algorithm, n int64, g record.Generator) (*Result, error) {
+	return s.sortGenerated(alg, n, g, record.OfGenerated(g, n, s.cfg.RecordSize))
+}
+
+// sortGenerated runs the generated-input sort against a caller-supplied
+// expected checksum, so padded sorts don't pay a checksum scan over the
+// padded generator only to discard it for the real prefix's.
+func (s *Sorter) sortGenerated(alg Algorithm, n int64, g record.Generator, want record.Checksum) (*Result, error) {
 	pl, err := s.Plan(alg, n)
 	if err != nil {
 		return nil, err
@@ -205,7 +242,7 @@ func (s *Sorter) SortGenerated(alg Algorithm, n int64, g record.Generator) (*Res
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Result: res, want: record.OfGenerated(g, n, s.cfg.RecordSize)}, nil
+	return &Result{Result: res, want: want}, nil
 }
 
 // padded wraps a generator so indices beyond n yield all-0xFF pad records,
@@ -234,34 +271,49 @@ func (p padded) Gen(rec []byte, idx int64) {
 // only the real prefix. The relative padding overhead is below 2× and
 // shrinks to the next-power-of-two gap.
 func (s *Sorter) SortGeneratedAny(alg Algorithm, n int64, g record.Generator) (*Result, error) {
+	pl, err := s.planPadded(alg, n)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.sortGenerated(alg, pl.N, padded{inner: g, n: n},
+		record.OfGenerated(g, n, s.cfg.RecordSize))
+	if err != nil {
+		return nil, err
+	}
+	res.realN = n
+	return res, nil
+}
+
+// planPadded finds the plan a padded sort of n records would execute: the
+// smallest covering power of two the planner accepts. The covering power
+// may still violate a divisibility condition (or be smaller than one
+// column); growing continues until the planner accepts, or the
+// problem-size restriction says growing cannot help.
+func (s *Sorter) planPadded(alg Algorithm, n int64) (core.Plan, error) {
 	if n < 1 {
-		return nil, fmt.Errorf("colsort: cannot sort %d records", n)
+		return core.Plan{}, fmt.Errorf("colsort: cannot sort %d records", n)
+	}
+	if alg == Hybrid {
+		// Plan(Hybrid) can never succeed (it needs a group size), so the
+		// doubling search below would fail with a misleading error.
+		return core.Plan{}, fmt.Errorf("colsort: hybrid group columnsort is not supported for padded or file sorts; use SortGeneratedHybrid with a power-of-two record count")
 	}
 	n2 := int64(1)
 	for n2 < n {
 		n2 *= 2
 	}
-	// The smallest covering power of two may still violate a divisibility
-	// condition (or be smaller than one column); grow until the planner
-	// accepts, or the problem-size restriction says growing cannot help.
 	var lastErr error
 	for try := n2; try > 0 && try <= 1<<52; try *= 2 {
-		if _, err := s.Plan(alg, try); err != nil {
-			lastErr = err
-			if errors.Is(err, core.ErrTooLarge) {
-				break
-			}
-			continue
+		pl, err := s.Plan(alg, try)
+		if err == nil {
+			return pl, nil
 		}
-		res, err := s.SortGenerated(alg, try, padded{inner: g, n: n})
-		if err != nil {
-			return nil, err
+		lastErr = err
+		if errors.Is(err, core.ErrTooLarge) {
+			break
 		}
-		res.want = record.OfGenerated(g, n, s.cfg.RecordSize)
-		res.realN = n
-		return res, nil
 	}
-	return nil, fmt.Errorf("colsort: no power-of-two padding of %d is sortable: %w", n, lastErr)
+	return core.Plan{}, fmt.Errorf("colsort: no power-of-two padding of %d is sortable: %w", n, lastErr)
 }
 
 // SortStore sorts an existing input store (created via InputStore). The

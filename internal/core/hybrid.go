@@ -151,6 +151,9 @@ func runHybridScatterPass(pr *cluster.Proc, pl Plan, spec hybridSpec, in, out *p
 	}
 
 	read := func(rd round) (round, error) {
+		if next := rd.col + ng; next < s {
+			in.PrefetchRows(q, next, lo, rb) // stage the next round's block
+		}
 		rd.buf = pool.Get(rb, z)
 		if err := in.ReadRows(&cRead, q, rd.col, lo, rd.buf); err != nil {
 			return rd, err
@@ -241,7 +244,9 @@ func runHybridScatterPass(pr *cluster.Proc, pl Plan, spec hybridSpec, in, out *p
 		return nil
 	}
 
-	err = pipeline.Run(pipeDepth, src, write, read, sortStage, distribute)
+	err = pipeline.RunDrain(pipeDepth, src, write,
+		func() error { return out.Flush(q) },
+		read, sortStage, distribute)
 	for _, ct := range []sim.Counters{cRead, cSort, cComm, cWrite} {
 		cnt.Add(ct)
 	}
@@ -295,6 +300,9 @@ func runHybridMergePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, tagBase i
 	}
 
 	read := func(rd round) (round, error) {
+		if next := rd.col + ng; next < s {
+			in.PrefetchRows(q, next, lo, rb)
+		}
 		rd.buf = pool.Get(rb, z)
 		if err := in.ReadRows(&cRead, q, rd.col, lo, rd.buf); err != nil {
 			return rd, err
@@ -411,7 +419,9 @@ func runHybridMergePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, tagBase i
 		return nil
 	}
 
-	err = pipeline.Run(pipeDepth, src, write, read, sortStage, boundary)
+	err = pipeline.RunDrain(pipeDepth, src, write,
+		func() error { return out.Flush(q) },
+		read, sortStage, boundary)
 	for _, ct := range []sim.Counters{cRead, cSort, cBound, cWrite} {
 		cnt.Add(ct)
 	}

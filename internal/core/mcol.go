@@ -77,6 +77,9 @@ func runMColScatterPass(pr *cluster.Proc, pl Plan, spec mcolSpec, in, out *pdm.S
 	}
 
 	read := func(rd round) (round, error) {
+		if rd.j+1 < s {
+			in.PrefetchRows(q, rd.j+1, lo, rb) // stage the next round's block
+		}
 		rd.buf = pool.Get(rb, z)
 		if err := in.ReadRows(&cRead, q, rd.j, lo, rd.buf); err != nil {
 			return rd, err
@@ -268,7 +271,9 @@ func runMColScatterPass(pr *cluster.Proc, pl Plan, spec mcolSpec, in, out *pdm.S
 		return nil
 	}
 
-	err := pipeline.Run(pipeDepth, src, write, read, sortStage, distribute)
+	err := pipeline.RunDrain(pipeDepth, src, write,
+		func() error { return out.Flush(q) },
+		read, sortStage, distribute)
 	for _, c := range []sim.Counters{cRead, cSort, cComm, cWrite} {
 		cnt.Add(c)
 	}
@@ -310,6 +315,9 @@ func runMColMergePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, tagBase int
 	}
 
 	read := func(rd round) (round, error) {
+		if rd.j+1 < s {
+			in.PrefetchRows(q, rd.j+1, lo, rb)
+		}
 		rd.buf = pool.Get(rb, z)
 		if err := in.ReadRows(&cRead, q, rd.j, lo, rd.buf); err != nil {
 			return rd, err
@@ -436,7 +444,9 @@ func runMColMergePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, tagBase int
 		return nil
 	}
 
-	err := pipeline.Run(pipeDepth, src, write, read, sortStage, boundary)
+	err := pipeline.RunDrain(pipeDepth, src, write,
+		func() error { return out.Flush(q) },
+		read, sortStage, boundary)
 	for _, c := range []sim.Counters{cRead, cSort, cBound, cWrite} {
 		cnt.Add(c)
 	}

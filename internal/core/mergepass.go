@@ -46,6 +46,9 @@ func runMergePass(pr *cluster.Proc, pl Plan, runLen int, in, out *pdm.Store, tag
 	}
 
 	read := func(rd round) (round, error) {
+		if next := rd.col + P; next < s {
+			in.PrefetchColumn(p, next) // stage the next round's column
+		}
 		rd.buf = pool.Get(r, z)
 		if err := in.ReadColumn(&cRead, p, rd.col, rd.buf); err != nil {
 			return rd, err
@@ -141,7 +144,9 @@ func runMergePass(pr *cluster.Proc, pl Plan, runLen int, in, out *pdm.Store, tag
 		return nil
 	}
 
-	err := pipeline.Run(pipeDepth, src, write, read, sortStage, comm1, mergeStage, comm2)
+	err := pipeline.RunDrain(pipeDepth, src, write,
+		func() error { return out.Flush(p) },
+		read, sortStage, comm1, mergeStage, comm2)
 	for _, c := range []sim.Counters{cRead, cSort, cComm1, cMerge, cComm2, cWrite} {
 		cnt.Add(c)
 	}
@@ -174,5 +179,8 @@ func runSortPass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, pool *record.Poo
 	err := out.WriteColumn(cnt, 0, 0, sorted)
 	pool.Put(buf)
 	pool.Put(sorted)
-	return err
+	if err != nil {
+		return err
+	}
+	return out.Flush(0)
 }

@@ -299,6 +299,14 @@ func runBaselinePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, pool *record
 	}
 
 	read := func(rd round) (round, error) {
+		next := rd.col + 1
+		if pl.Layout == pdm.ColumnOwned {
+			next = rd.col + pl.P
+		}
+		if next < pl.S {
+			nlo, nhi := in.OwnedRows(p, next)
+			in.PrefetchRows(p, next, nlo, nhi-nlo)
+		}
 		lo, hi := in.OwnedRows(p, rd.col)
 		rd.buf = pool.Get(hi-lo, pl.Z)
 		if err := in.ReadRows(&cRead, p, rd.col, lo, rd.buf); err != nil {
@@ -332,7 +340,8 @@ func runBaselinePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, pool *record
 		return nil
 	}
 
-	err := pipeline.Run(pipeDepth, src, write, read)
+	err := pipeline.RunDrain(pipeDepth, src, write,
+		func() error { return out.Flush(p) }, read)
 	cnt.Add(cRead)
 	cnt.Add(cWrite)
 	if err != nil {

@@ -114,6 +114,12 @@ func runScatterPass(pr *cluster.Proc, pl Plan, spec scatterSpec, in, out *pdm.St
 	}
 
 	read := func(rd scatterRound) (scatterRound, error) {
+		// The round → column map IS the pass's future access sequence: hint
+		// the next round's column so an async disk stages it while this
+		// round's read, sort and communication proceed.
+		if next := rd.col + P; next < s {
+			in.PrefetchColumn(p, next)
+		}
 		rd.buf = pool.Get(r, z)
 		if err := in.ReadColumn(&cRead, p, rd.col, rd.buf); err != nil {
 			return rd, err
@@ -280,7 +286,9 @@ func runScatterPass(pr *cluster.Proc, pl Plan, spec scatterSpec, in, out *pdm.St
 		return nil
 	}
 
-	err := pipeline.Run(pipeDepth, src, write, read, sortStage, communicate, permute)
+	err := pipeline.RunDrain(pipeDepth, src, write,
+		func() error { return out.Flush(p) },
+		read, sortStage, communicate, permute)
 	for _, c := range []sim.Counters{cRead, cSort, cComm, cPerm, cWrite} {
 		cnt.Add(c)
 	}

@@ -102,6 +102,42 @@ func (a *DiskArray) transfer(cnt *sim.Counters, p []byte, off int64, read bool) 
 	return nil
 }
 
+// Prefetch hints the member disks to stage [off, off+n) of the logical
+// address space, walking the same stripe decomposition as a later ReadAt of
+// the range so each per-disk extent matches the read that will consume it.
+// No accounting happens here: the read is charged when it is issued.
+func (a *DiskArray) Prefetch(off int64, n int) {
+	if off < 0 || n <= 0 {
+		return
+	}
+	for n > 0 {
+		d, phys := a.locate(off)
+		chunk := int(a.StripeBytes - off%a.StripeBytes)
+		if chunk > n {
+			chunk = n
+		}
+		if pf, ok := a.Disks[d].(Prefetcher); ok {
+			pf.Prefetch(phys, chunk)
+		}
+		n -= chunk
+		off += int64(chunk)
+	}
+}
+
+// Flush drains the write-behind queues of any asynchronous member disks,
+// returning the first deferred write error. A no-op on synchronous disks.
+func (a *DiskArray) Flush() error {
+	var first error
+	for _, d := range a.Disks {
+		if f, ok := d.(Flusher); ok {
+			if err := f.Flush(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
 // Close closes all member disks, returning the first error.
 func (a *DiskArray) Close() error {
 	var first error

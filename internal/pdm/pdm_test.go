@@ -386,3 +386,75 @@ func TestStoreBufferSizeMismatch(t *testing.T) {
 		t.Fatal("short read buffer accepted")
 	}
 }
+
+func TestFileDiskErrorPaths(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewFileDisk(filepath.Join(dir, "err.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteAt([]byte("0123456789"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Short read straddling EOF zero-fills; a read entirely beyond EOF is
+	// all zeros.
+	buf := make([]byte, 8)
+	if err := d.ReadAt(buf, 6); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte{'6', '7', '8', '9', 0, 0, 0, 0}) {
+		t.Fatalf("short read wrong: %q", buf)
+	}
+	if err := d.ReadAt(buf, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, make([]byte, 8)) {
+		t.Fatal("beyond-EOF read not zero")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Operations on a closed disk fail loudly rather than zero-filling.
+	if err := d.ReadAt(buf, 0); err == nil {
+		t.Fatal("read after Close accepted")
+	}
+	if err := d.WriteAt(buf, 0); err == nil {
+		t.Fatal("write after Close accepted")
+	}
+	if err := d.Close(); err == nil {
+		t.Fatal("double Close accepted")
+	}
+	// A fresh disk at the same path starts empty (reopen-after-close is a
+	// new generation, never a resurrection of removed state).
+	d2, err := NewFileDisk(filepath.Join(dir, "err.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Size() != 0 {
+		t.Fatalf("reopened disk has size %d, want 0", d2.Size())
+	}
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultDiskPassthrough(t *testing.T) {
+	inner := NewMemDisk()
+	d := &FaultDisk{Inner: inner, Budget: 100}
+	if err := d.WriteAt([]byte("xyz"), 5); err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != inner.Size() || d.Size() != 8 {
+		t.Fatalf("Size = %d, want 8", d.Size())
+	}
+	// Exactly exhausting the budget still succeeds; the next byte fails.
+	if err := d.WriteAt(make([]byte, 97), 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrInjected) {
+		t.Fatal("budget boundary not enforced")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

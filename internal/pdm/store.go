@@ -1,6 +1,7 @@
 package pdm
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -178,6 +179,34 @@ func (st *Store) WriteRows(cnt *sim.Counters, p, j, rowLo int, src record.Slice)
 	return st.Arrays[p].WriteAt(cnt, src.Data, st.offset(p, rowLo, j))
 }
 
+// PrefetchRows hints processor p's disks to stage rows [rowLo, rowLo+n) of
+// column j ahead of the ReadRows that will consume them. Advisory: rows not
+// owned by p, or disks without an async layer, make it a no-op.
+func (st *Store) PrefetchRows(p, j, rowLo, n int) {
+	if n <= 0 || st.checkRange(p, j, rowLo, n) != nil {
+		return
+	}
+	st.Arrays[p].Prefetch(st.offset(p, rowLo, j), n*st.RecSize)
+}
+
+// PrefetchColumn hints the whole of column j (ColumnOwned only).
+func (st *Store) PrefetchColumn(p, j int) {
+	if st.Layout != ColumnOwned || j < 0 || j >= st.S || p != j%st.P {
+		return
+	}
+	st.PrefetchRows(p, j, 0, st.R)
+}
+
+// Flush drains processor p's write-behind queues, surfacing any deferred
+// write error. Passes call it when their write stage completes so a
+// background failure is attributed to the pass that issued the writes.
+func (st *Store) Flush(p int) error {
+	if p < 0 || p >= st.P {
+		return fmt.Errorf("pdm: processor %d out of range", p)
+	}
+	return st.Arrays[p].Flush()
+}
+
 func (st *Store) checkRange(p, j, rowLo, n int) error {
 	if p < 0 || p >= st.P {
 		return fmt.Errorf("pdm: processor %d out of range", p)
@@ -228,6 +257,16 @@ type Machine struct {
 	// warm buffer pools, so repeated sorts on one Sorter allocate only on
 	// their first pass. Nil machines get per-run pools.
 	Pools []*record.Pool
+
+	// Async, when non-nil, wraps every disk in an AsyncDisk: reads follow
+	// the passes' prefetch hints and writes retire in the background (see
+	// async.go). Operation accounting is unchanged by the wrapper.
+	Async *AsyncConfig
+
+	// Delay, when non-nil, imposes a per-operation service time on every
+	// disk (below the async layer, so write-behind and prefetch genuinely
+	// hide it), modeling physical disks on page-cached hardware.
+	Delay *DelayConfig
 }
 
 // DefaultStripeBytes is the striping unit used when none is specified.
@@ -254,6 +293,12 @@ func (m Machine) NewArrays() ([]*DiskArray, error) {
 			d, err := backend.NewDisk(p + k*m.P)
 			if err != nil {
 				return nil, err
+			}
+			if m.Delay != nil {
+				d = NewDelayDisk(d, *m.Delay)
+			}
+			if m.Async != nil {
+				d = NewAsyncDisk(d, *m.Async)
 			}
 			disks[k] = d
 		}
@@ -316,6 +361,49 @@ func (st *Store) Fill(g record.Generator) error {
 			}
 		}
 	}
+	for p := 0; p < st.P; p++ {
+		if err := st.Flush(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ErrStopScan, returned by a ScanSegments visitor, ends the scan early and
+// successfully — before the remaining segments are visited or prefetched.
+var ErrStopScan = errors.New("pdm: stop scan")
+
+// ScanSegments visits every owned (processor, column, row-range) segment of
+// the store in global column-major order — the order in which the sorted
+// records appear — prefetching each segment one step ahead of the visit, so
+// on async-backed disks the caller's per-segment processing overlaps the
+// next segment's read. All the store's serial scans (Snapshot, Checksum,
+// verification, output streaming) are built on it. A visitor returning
+// ErrStopScan ends the scan without error and without staging further
+// prefetches (the stopping visit's one-ahead hint has already been issued;
+// at most that one staged extent goes unconsumed until Close).
+func (st *Store) ScanSegments(visit func(p, j, lo, hi int) error) error {
+	type seg struct{ p, j, lo, hi int }
+	segs := make([]seg, 0, st.S*st.P)
+	for j := 0; j < st.S; j++ {
+		for p := 0; p < st.P; p++ {
+			if lo, hi := st.OwnedRows(p, j); lo < hi {
+				segs = append(segs, seg{p, j, lo, hi})
+			}
+		}
+	}
+	for i, sg := range segs {
+		if i+1 < len(segs) {
+			nx := segs[i+1]
+			st.PrefetchRows(nx.p, nx.j, nx.lo, nx.hi-nx.lo)
+		}
+		if err := visit(sg.p, sg.j, sg.lo, sg.hi); err != nil {
+			if errors.Is(err, ErrStopScan) {
+				return nil
+			}
+			return err
+		}
+	}
 	return nil
 }
 
@@ -323,20 +411,19 @@ func (st *Store) Fill(g record.Generator) error {
 func (st *Store) Snapshot() (record.Slice, error) {
 	var cnt sim.Counters
 	out := record.Make(st.R*st.S, st.RecSize)
-	for j := 0; j < st.S; j++ {
-		for p := 0; p < st.P; p++ {
-			lo, hi := st.OwnedRows(p, j)
-			if lo == hi {
-				continue
-			}
-			chunk := record.Make(hi-lo, st.RecSize)
-			if err := st.ReadRows(&cnt, p, j, lo, chunk); err != nil {
-				return record.Slice{}, err
-			}
-			for i := lo; i < hi; i++ {
-				out.CopyRecord(j*st.R+i, chunk, i-lo)
-			}
+	buf := record.Make(st.R, st.RecSize)
+	err := st.ScanSegments(func(p, j, lo, hi int) error {
+		chunk := buf.Sub(0, hi-lo)
+		if err := st.ReadRows(&cnt, p, j, lo, chunk); err != nil {
+			return err
 		}
+		for i := lo; i < hi; i++ {
+			out.CopyRecord(j*st.R+i, chunk, i-lo)
+		}
+		return nil
+	})
+	if err != nil {
+		return record.Slice{}, err
 	}
 	return out, nil
 }
@@ -346,18 +433,14 @@ func (st *Store) Snapshot() (record.Slice, error) {
 func (st *Store) Checksum() (record.Checksum, error) {
 	var cnt sim.Counters
 	var c record.Checksum
-	for j := 0; j < st.S; j++ {
-		for p := 0; p < st.P; p++ {
-			lo, hi := st.OwnedRows(p, j)
-			if lo == hi {
-				continue
-			}
-			chunk := record.Make(hi-lo, st.RecSize)
-			if err := st.ReadRows(&cnt, p, j, lo, chunk); err != nil {
-				return c, err
-			}
-			c.AddSlice(chunk)
+	buf := record.Make(st.R, st.RecSize)
+	err := st.ScanSegments(func(p, j, lo, hi int) error {
+		chunk := buf.Sub(0, hi-lo)
+		if err := st.ReadRows(&cnt, p, j, lo, chunk); err != nil {
+			return err
 		}
-	}
-	return c, nil
+		c.AddSlice(chunk)
+		return nil
+	})
+	return c, err
 }

@@ -29,6 +29,15 @@ type Stage[T any] func(item T) (T, error)
 // The first error from any stage, the source, or the sink cancels the whole
 // pipeline and is returned.
 func Run[T any](chanCap int, source func(emit func(T) error) error, sink func(T) error, stages ...Stage[T]) error {
+	return RunDrain(chanCap, source, sink, nil, stages...)
+}
+
+// RunDrain is Run with an I/O-completion hook: after the sink has consumed
+// every item of an otherwise error-free run, drain is invoked inside the
+// pipeline scope, so its error — typically a write-behind Flush surfacing a
+// deferred disk failure — is reported as the pipeline's error. A nil drain
+// degenerates to Run.
+func RunDrain[T any](chanCap int, source func(emit func(T) error) error, sink func(T) error, drain func() error, stages ...Stage[T]) error {
 	if chanCap < 0 {
 		return fmt.Errorf("pipeline: negative channel capacity %d", chanCap)
 	}
@@ -101,6 +110,15 @@ func Run[T any](chanCap int, source func(emit func(T) error) error, sink func(T)
 			case <-done:
 				return
 			default:
+			}
+		}
+		if drain != nil {
+			select {
+			case <-done: // a failure upstream: nothing left to complete
+			default:
+				if err := drain(); err != nil {
+					fail(err)
+				}
 			}
 		}
 	}()

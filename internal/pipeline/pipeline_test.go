@@ -177,3 +177,65 @@ func TestConcurrentPipelines(t *testing.T) {
 		}
 	}
 }
+
+func TestRunDrainCalledAfterSink(t *testing.T) {
+	var mu sync.Mutex
+	var consumed int
+	drained := false
+	err := RunDrain(1, Rounds(5),
+		func(int) error {
+			mu.Lock()
+			defer mu.Unlock()
+			if drained {
+				t.Error("drain ran before the sink finished")
+			}
+			consumed++
+			return nil
+		},
+		func() error {
+			mu.Lock()
+			defer mu.Unlock()
+			if consumed != 5 {
+				t.Errorf("drain ran after %d of 5 items", consumed)
+			}
+			drained = true
+			return nil
+		},
+		func(x int) (int, error) { return x, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !drained {
+		t.Fatal("drain never ran")
+	}
+}
+
+func TestRunDrainErrorPropagates(t *testing.T) {
+	want := errors.New("deferred write failure")
+	err := RunDrain(1, Rounds(3),
+		func(int) error { return nil },
+		func() error { return want })
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want drain error", err)
+	}
+}
+
+func TestRunDrainSkippedOnFailure(t *testing.T) {
+	boom := errors.New("stage failure")
+	var drainRan atomic.Bool
+	err := RunDrain(1, Rounds(10),
+		func(int) error { return nil },
+		func() error { drainRan.Store(true); return nil },
+		func(x int) (int, error) {
+			if x == 2 {
+				return 0, boom
+			}
+			return x, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want stage error", err)
+	}
+	if drainRan.Load() {
+		t.Fatal("drain ran on a failed pipeline")
+	}
+}

@@ -33,27 +33,24 @@ func StoreSorted(st *pdm.Store) error {
 	var cnt sim.Counters
 	var lastValid bool
 	last := record.Make(1, st.RecSize)
-	for j := 0; j < st.S; j++ {
-		for p := 0; p < st.P; p++ {
-			lo, hi := st.OwnedRows(p, j)
-			if lo == hi {
-				continue
-			}
-			chunk := record.Make(hi-lo, st.RecSize)
-			if err := st.ReadRows(&cnt, p, j, lo, chunk); err != nil {
-				return err
-			}
-			for i := 0; i < chunk.Len(); i++ {
-				if lastValid && record.Compare(chunk, i, last, 0) < 0 {
-					return &Error{Kind: "order violation", Column: j, Row: lo + i,
-						Detail: fmt.Sprintf("key %x follows %x", chunk.Key(i), last.Key(0))}
-				}
-				last.CopyRecord(0, chunk, i)
-				lastValid = true
-			}
+	buf := record.Make(st.R, st.RecSize)
+	// ScanSegments prefetches one segment ahead, so on async disks the
+	// comparisons below overlap the next segment's read.
+	return st.ScanSegments(func(p, j, lo, hi int) error {
+		chunk := buf.Sub(0, hi-lo)
+		if err := st.ReadRows(&cnt, p, j, lo, chunk); err != nil {
+			return err
 		}
-	}
-	return nil
+		for i := 0; i < chunk.Len(); i++ {
+			if lastValid && record.Compare(chunk, i, last, 0) < 0 {
+				return &Error{Kind: "order violation", Column: j, Row: lo + i,
+					Detail: fmt.Sprintf("key %x follows %x", chunk.Key(i), last.Key(0))}
+			}
+			last.CopyRecord(0, chunk, i)
+			lastValid = true
+		}
+		return nil
+	})
 }
 
 // Multiset checks that the store holds exactly the claimed multiset of
@@ -91,38 +88,37 @@ func OutputPrefix(st *pdm.Store, n int64, want record.Checksum) error {
 	var got record.Checksum
 	var lastValid bool
 	last := record.Make(1, st.RecSize)
+	buf := record.Make(st.R, st.RecSize)
 	var seen int64
-	for j := 0; j < st.S; j++ {
-		for p := 0; p < st.P; p++ {
-			lo, hi := st.OwnedRows(p, j)
-			if lo == hi {
-				continue
-			}
-			chunk := record.Make(hi-lo, st.RecSize)
-			if err := st.ReadRows(&cnt, p, j, lo, chunk); err != nil {
-				return err
-			}
-			for i := 0; i < chunk.Len(); i++ {
-				rec := chunk.Record(i)
-				if seen < n {
-					if lastValid && record.Compare(chunk, i, last, 0) < 0 {
-						return &Error{Kind: "order violation", Column: j, Row: lo + i,
-							Detail: fmt.Sprintf("key %x follows %x", chunk.Key(i), last.Key(0))}
-					}
-					last.CopyRecord(0, chunk, i)
-					lastValid = true
-					got.Add(rec)
-				} else {
-					for _, b := range rec {
-						if b != 0xff {
-							return &Error{Kind: "pad violation", Column: j, Row: lo + i,
-								Detail: "non-pad record beyond the real prefix"}
-						}
+	err := st.ScanSegments(func(p, j, lo, hi int) error {
+		chunk := buf.Sub(0, hi-lo)
+		if err := st.ReadRows(&cnt, p, j, lo, chunk); err != nil {
+			return err
+		}
+		for i := 0; i < chunk.Len(); i++ {
+			rec := chunk.Record(i)
+			if seen < n {
+				if lastValid && record.Compare(chunk, i, last, 0) < 0 {
+					return &Error{Kind: "order violation", Column: j, Row: lo + i,
+						Detail: fmt.Sprintf("key %x follows %x", chunk.Key(i), last.Key(0))}
+				}
+				last.CopyRecord(0, chunk, i)
+				lastValid = true
+				got.Add(rec)
+			} else {
+				for _, b := range rec {
+					if b != 0xff {
+						return &Error{Kind: "pad violation", Column: j, Row: lo + i,
+							Detail: "non-pad record beyond the real prefix"}
 					}
 				}
-				seen++
 			}
+			seen++
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	if !got.Equal(want) {
 		return &Error{Kind: "multiset violation",

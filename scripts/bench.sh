@@ -1,28 +1,41 @@
-#!/usr/bin/env bash
+#!/bin/sh
 # bench.sh — run the key benchmarks with -benchmem and write a JSON
 # trajectory file (ns/op, MB/s, B/op, allocs/op plus any custom metrics per
 # benchmark) so successive PRs have a perf baseline to compare against.
 #
 # Usage:
-#   scripts/bench.sh [OUTFILE]            # default OUTFILE: BENCH_0.json
-#   BENCHTIME=10x scripts/bench.sh        # override -benchtime (default 3x)
+#   scripts/bench.sh [OUTFILE]      # default OUTFILE: next free BENCH_n.json
+#   BENCHTIME=10x scripts/bench.sh  # override -benchtime (default 3x)
 #   BENCH='^BenchmarkLocalSort$' scripts/bench.sh   # override the selector
+#
+# Portability: plain POSIX sh and BSD-compatible awk, so it runs unchanged
+# on macOS CI (bash 3.2 / BSD userland) — no pipefail, no bash arrays, and
+# no pipeline around `go test` (whose exit status must gate the script).
 #
 # The JSON shape is:
 #   {"go": "...", "benchtime": "...", "benchmarks": [
 #     {"name": "...", "iters": N, "ns_per_op": ..., "mb_per_s": ...,
 #      "b_per_op": ..., "allocs_per_op": ..., "extra": {"est-s": ...}}]}
-set -euo pipefail
+set -eu
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_0.json}"
+if [ "$#" -ge 1 ]; then
+	OUT=$1
+else
+	i=0
+	while [ -e "BENCH_$i.json" ]; do
+		i=$((i + 1))
+	done
+	OUT="BENCH_$i.json"
+fi
 BENCHTIME="${BENCHTIME:-3x}"
-BENCH="${BENCH:-^(BenchmarkLocalSort|BenchmarkMergeRuns|BenchmarkE6InCore|BenchmarkFigure2)$}"
+BENCH="${BENCH:-^(BenchmarkLocalSort|BenchmarkMergeRuns|BenchmarkE6InCore|BenchmarkFigure2|BenchmarkFigure2File)$}"
 
-RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+RAW=$(mktemp "${TMPDIR:-/tmp}/bench.XXXXXX")
+trap 'rm -f "$RAW"' EXIT INT TERM
 
-go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count 1 . | tee "$RAW" >&2
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count 1 . >"$RAW"
+cat "$RAW" >&2
 
 awk -v goversion="$(go env GOVERSION)" -v benchtime="$BENCHTIME" '
 BEGIN { n = 0 }
@@ -48,6 +61,6 @@ END {
     printf "{\n  \"go\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", goversion, benchtime
     for (i = 0; i < n; i++) printf "%s%s\n", bench[i], (i < n - 1 ? "," : "")
     print "  ]\n}"
-}' "$RAW" > "$OUT"
+}' "$RAW" >"$OUT"
 
 echo "wrote $OUT" >&2
