@@ -1,6 +1,8 @@
 // Command colsort runs one out-of-core sort end to end on the simulated
-// cluster: plan, generate (or ingest a real file), sort, verify, and report
-// operation counts plus the Beowulf-2003 time estimate.
+// cluster: plan, ingest (a generated workload or a real file), sort,
+// verify, and report operation counts plus the Beowulf-2003 time estimate.
+// It is a thin shell over the v1 library call
+// Sorter.Sort(ctx, src, dst, opts...).
 //
 // Examples:
 //
@@ -13,6 +15,11 @@
 //	colsort -alg threaded -in input.dat -out sorted.dat -p 4 -mem 4096 \
 //	        -dir /tmp/colsort -async
 //
+// -key-offset/-key-width/-desc sort on a caller-defined key field instead
+// of the first 8 bytes (weblog timestamps, seismic amplitudes). -progress
+// prints pass/round completion as the sort runs. Ctrl-C cancels the run,
+// tearing down all processors and scratch files before exiting.
+//
 // -async enables the prefetch/write-behind disk layer (-readahead and
 // -writebehind size its per-disk queues); -disk-seek-us/-disk-mbps impose a
 // physical-disk service-time model so the overlap is visible on
@@ -20,9 +27,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -48,6 +58,10 @@ func main() {
 	diskMBps := flag.Int("disk-mbps", 0, "model: sustained disk bandwidth in MiB/s (0: off)")
 	inPath := flag.String("in", "", "sort the records of this file (any count ≥ 1) instead of generating input")
 	outPath := flag.String("out", "", "write the sorted records to this file (requires -in)")
+	keyOffset := flag.Int("key-offset", 0, "byte offset of the sort key field within each record")
+	keyWidth := flag.Int("key-width", 0, "byte width of the sort key field (0: 8)")
+	desc := flag.Bool("desc", false, "sort the key field in descending order")
+	progress := flag.Bool("progress", false, "print pass/round completion as the sort runs")
 	planOnly := flag.Bool("plan", false, "print the plan and exit")
 	flag.Parse()
 
@@ -76,44 +90,56 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *inPath != "" {
-		if *planOnly {
-			pl, err := sorter.PlanFile(alg, *inPath)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			fmt.Println("plan:", pl)
-			return
+	// Ctrl-C cancels the context; the library tears down the cluster, the
+	// async disk workers and the scratch files before Sort returns.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := []colsort.Option{colsort.WithAlgorithm(alg)}
+	if alg == colsort.Hybrid {
+		opts = []colsort.Option{colsort.WithHybridGroup(*group)}
+	}
+	if *keyOffset != 0 || *keyWidth != 0 || *desc {
+		ks := colsort.KeySpec{Offset: *keyOffset, Width: *keyWidth}
+		if *desc {
+			ks.Order = colsort.Descending
 		}
-		sortFile(sorter, alg, *inPath, *outPath)
+		opts = append(opts, colsort.WithKeySpec(ks))
+	}
+	if *progress {
+		opts = append(opts, colsort.WithProgress(func(ev colsort.Progress) {
+			if ev.Round == 0 || ev.Round == ev.Rounds {
+				fmt.Fprintf(os.Stderr, "pass %d/%d: %d/%d rounds\n", ev.Pass, ev.Passes, ev.Round, ev.Rounds)
+			}
+		}))
+	}
+
+	if *planOnly {
+		pl, err := planFor(sorter, alg, *group, *inPath, *n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("plan:", pl)
 		return
 	}
 
-	plan := func() (interface{ String() string }, error) {
-		if alg == colsort.Hybrid {
-			return sorter.PlanHybrid(*group, *n)
-		}
-		return sorter.Plan(alg, *n)
-	}
-	pl, err := plan()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Println("plan:", pl)
-	if *planOnly {
-		return
+	var src colsort.Source
+	var dst colsort.Sink
+	if *inPath != "" {
+		src, dst = colsort.FromFile(*inPath), colsort.ToFile(*outPath)
+	} else {
+		src = colsort.Generate(g, *n)
+		opts = append(opts, colsort.WithPadding(colsort.PadNever))
 	}
 
 	start := time.Now()
-	var res *colsort.Result
-	if alg == colsort.Hybrid {
-		res, err = sorter.SortGeneratedHybrid(*group, *n, g)
-	} else {
-		res, err = sorter.SortGenerated(alg, *n, g)
-	}
+	res, err := sorter.Sort(ctx, src, dst, opts...)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "interrupted: sort cancelled, scratch cleaned up")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -121,31 +147,33 @@ func main() {
 	wall := time.Since(start)
 
 	isBaseline := alg == colsort.BaselineIO3 || alg == colsort.BaselineIO4
-	if !isBaseline {
+	switch {
+	case *inPath != "":
+		// Sort verified before writing -out.
+		fmt.Printf("sorted %d records of %s into %s (plan: %s)\n", res.RealRecords(), *inPath, *outPath, res.Plan.String())
+		fmt.Println("verified: output sorted, multiset preserved")
+	case !isBaseline:
 		if err := res.Verify(); err != nil {
 			fmt.Fprintln(os.Stderr, "VERIFICATION FAILED:", err)
 			os.Exit(1)
 		}
+		fmt.Println("plan:", res.Plan.String())
 		fmt.Println("verified: output sorted in PDM order, multiset preserved")
+	default:
+		fmt.Println("plan:", res.Plan.String())
 	}
 	report(res, wall)
 }
 
-// sortFile drives the file-to-file path: ingest, sort, verify, emit.
-// SortFile verifies before writing the output, so success here means the
-// output file holds verified sorted data.
-func sortFile(sorter *colsort.Sorter, alg colsort.Algorithm, in, out string) {
-	start := time.Now()
-	res, err := sorter.SortFile(alg, in, out)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+// planFor prints the plan the equivalent Sort call would execute.
+func planFor(sorter *colsort.Sorter, alg colsort.Algorithm, group int, inPath string, n int64) (interface{ String() string }, error) {
+	if inPath != "" {
+		return sorter.PlanFile(alg, inPath)
 	}
-	defer res.Close()
-	wall := time.Since(start)
-	fmt.Printf("sorted %d records of %s into %s (plan: %s)\n", res.RealRecords(), in, out, res.Plan.String())
-	fmt.Println("verified: output sorted, multiset preserved")
-	report(res, wall)
+	if alg == colsort.Hybrid {
+		return sorter.PlanHybrid(group, n)
+	}
+	return sorter.Plan(alg, n)
 }
 
 func report(res *colsort.Result, wall time.Duration) {

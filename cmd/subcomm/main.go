@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -76,7 +77,7 @@ func measure(p, r, s int) (int, int64, error) {
 		return 0, 0, err
 	}
 	defer input.Close()
-	res, err := core.Run(pl, m, input)
+	res, err := core.Run(context.Background(), pl, m, input, core.Hooks{})
 	if err != nil {
 		return 0, 0, err
 	}

@@ -16,9 +16,17 @@
 //	cfg := colsort.Config{Procs: 4, Disks: 8, MemPerProc: 1 << 16, RecordSize: 64}
 //	sorter, err := colsort.New(cfg)
 //	...
-//	res, err := sorter.SortGenerated(colsort.Subblock, 1<<22, record.Uniform{Seed: 1})
+//	res, err := sorter.Sort(ctx, colsort.FromFile("in.dat"), colsort.ToFile("out.dat"),
+//	        colsort.WithAlgorithm(colsort.Subblock))
 //	...
-//	err = res.Verify()
+//	res.Close()
+//
+// Sort is the single entry point of the v1 API: a context-aware streaming
+// call from a Source (generator, file, byte buffer, io.Reader, existing
+// store) to a Sink (file, io.Writer, discard), with functional options for
+// the algorithm, hybrid group size, padding policy, progress reporting and
+// a pluggable key schema (KeySpec). The SortGenerated / SortStore /
+// SortFile family remains as thin deprecated wrappers for one release.
 //
 // The cluster (goroutine processors, message passing), the parallel disk
 // model (memory- or file-backed disks with exact operation accounting) and
@@ -28,6 +36,7 @@
 package colsort
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -148,21 +157,10 @@ func (s *Sorter) PlanHybrid(g int, n int64) (core.Plan, error) {
 }
 
 // SortGeneratedHybrid runs hybrid group columnsort with group size g.
+//
+// Deprecated: use Sort with Generate and WithHybridGroup.
 func (s *Sorter) SortGeneratedHybrid(g int, n int64, gen record.Generator) (*Result, error) {
-	pl, err := s.PlanHybrid(g, n)
-	if err != nil {
-		return nil, err
-	}
-	input, err := pl.NewInput(s.m, gen)
-	if err != nil {
-		return nil, err
-	}
-	defer input.Close()
-	res, err := core.Run(pl, s.m, input)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Result: res, want: record.OfGenerated(gen, n, s.cfg.RecordSize)}, nil
+	return s.Sort(context.Background(), Generate(gen, n), nil, WithHybridGroup(g))
 }
 
 // MaxRecords returns the largest power-of-two record count the algorithm
@@ -184,8 +182,12 @@ type Result struct {
 	*core.Result
 	want record.Checksum
 	// realN is the number of caller records when the sort was padded to a
-	// power of two (SortGeneratedAny); 0 means unpadded.
+	// power of two; 0 means unpadded.
 	realN int64
+	// codec is the compiled KeySpec of the run: Result.Output holds records
+	// in its normalized key space, and every egress path decodes through
+	// it. The zero codec is the identity (native key layout).
+	codec record.KeyCodec
 }
 
 // Verify checks that the output is globally sorted (in the PDM column-major
@@ -221,47 +223,12 @@ func (r *Result) Close() error { return r.Output.Close() }
 // onto the simulated disks; only one column portion is ever in memory),
 // sorts them with the chosen algorithm, and returns the verified-able
 // result. The caller owns Close on the result.
+//
+// Deprecated: use Sort with Generate (and WithPadding(PadNever) to keep
+// the strict power-of-two contract).
 func (s *Sorter) SortGenerated(alg Algorithm, n int64, g record.Generator) (*Result, error) {
-	return s.sortGenerated(alg, n, g, record.OfGenerated(g, n, s.cfg.RecordSize))
-}
-
-// sortGenerated runs the generated-input sort against a caller-supplied
-// expected checksum, so padded sorts don't pay a checksum scan over the
-// padded generator only to discard it for the real prefix's.
-func (s *Sorter) sortGenerated(alg Algorithm, n int64, g record.Generator, want record.Checksum) (*Result, error) {
-	pl, err := s.Plan(alg, n)
-	if err != nil {
-		return nil, err
-	}
-	input, err := pl.NewInput(s.m, g)
-	if err != nil {
-		return nil, err
-	}
-	defer input.Close()
-	res, err := core.Run(pl, s.m, input)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Result: res, want: want}, nil
-}
-
-// padded wraps a generator so indices beyond n yield all-0xFF pad records,
-// which carry the maximum key and payload and therefore sort to the end.
-type padded struct {
-	inner record.Generator
-	n     int64
-}
-
-func (p padded) Name() string { return p.inner.Name() + "+pad" }
-
-func (p padded) Gen(rec []byte, idx int64) {
-	if idx < p.n {
-		p.inner.Gen(rec, idx)
-		return
-	}
-	for i := range rec {
-		rec[i] = 0xff
-	}
+	return s.Sort(context.Background(), Generate(g, n), nil,
+		WithAlgorithm(alg), WithPadding(PadNever))
 }
 
 // SortGeneratedAny sorts ANY record count n ≥ 1, removing the paper's
@@ -270,18 +237,10 @@ func (p padded) Gen(rec []byte, idx int64) {
 // planner accepts, sorted normally, and the result verifies and reports
 // only the real prefix. The relative padding overhead is below 2× and
 // shrinks to the next-power-of-two gap.
+//
+// Deprecated: use Sort with Generate; PadAuto is the default policy.
 func (s *Sorter) SortGeneratedAny(alg Algorithm, n int64, g record.Generator) (*Result, error) {
-	pl, err := s.planPadded(alg, n)
-	if err != nil {
-		return nil, err
-	}
-	res, err := s.sortGenerated(alg, pl.N, padded{inner: g, n: n},
-		record.OfGenerated(g, n, s.cfg.RecordSize))
-	if err != nil {
-		return nil, err
-	}
-	res.realN = n
-	return res, nil
+	return s.Sort(context.Background(), Generate(g, n), nil, WithAlgorithm(alg))
 }
 
 // planPadded finds the plan a padded sort of n records would execute: the
@@ -296,43 +255,36 @@ func (s *Sorter) planPadded(alg Algorithm, n int64) (core.Plan, error) {
 	if alg == Hybrid {
 		// Plan(Hybrid) can never succeed (it needs a group size), so the
 		// doubling search below would fail with a misleading error.
-		return core.Plan{}, fmt.Errorf("colsort: hybrid group columnsort is not supported for padded or file sorts; use SortGeneratedHybrid with a power-of-two record count")
+		return core.Plan{}, fmt.Errorf("colsort: hybrid group columnsort is not supported for padded or file sorts; use WithHybridGroup with a power-of-two record count")
 	}
 	n2 := int64(1)
 	for n2 < n {
 		n2 *= 2
 	}
 	var lastErr error
+	last := n2
 	for try := n2; try > 0 && try <= 1<<52; try *= 2 {
 		pl, err := s.Plan(alg, try)
 		if err == nil {
 			return pl, nil
 		}
 		lastErr = err
+		last = try
 		if errors.Is(err, core.ErrTooLarge) {
 			break
 		}
 	}
-	return core.Plan{}, fmt.Errorf("colsort: no power-of-two padding of %d is sortable: %w", n, lastErr)
+	return core.Plan{}, fmt.Errorf("colsort: no power-of-two padding of %d records is sortable with %v (tried N = %d up to %d): %w",
+		n, alg, n2, last, lastErr)
 }
 
 // SortStore sorts an existing input store (created via InputStore). The
 // input is preserved; the caller owns both stores.
+//
+// Deprecated: use Sort with FromStore.
 func (s *Sorter) SortStore(alg Algorithm, input *pdm.Store) (*Result, error) {
-	n := int64(input.R) * int64(input.S)
-	pl, err := s.Plan(alg, n)
-	if err != nil {
-		return nil, err
-	}
-	want, err := input.Checksum()
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.Run(pl, s.m, input)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Result: res, want: want}, nil
+	return s.Sort(context.Background(), FromStore(input), nil,
+		WithAlgorithm(alg), WithPadding(PadNever))
 }
 
 // InputStore allocates an input store shaped for the algorithm and n, to be

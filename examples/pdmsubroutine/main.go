@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,9 @@ func main() {
 	}
 	const n = (1 << 13) * 32 // 32 columns
 
-	res, err := sorter.SortGenerated(colsort.Threaded, n, record.Uniform{Seed: 6})
+	res, err := sorter.Sort(context.Background(),
+		colsort.Generate(record.Uniform{Seed: 6}, n), nil,
+		colsort.WithAlgorithm(colsort.Threaded))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,9 +1,11 @@
 // Quickstart: sort a million 64-byte records out-of-core on a simulated
 // 4-processor cluster with 3-pass threaded columnsort, verify the output,
-// and print what it would cost on the paper's Beowulf testbed.
+// and print what it would cost on the paper's Beowulf testbed — all through
+// the v1 API: one context-aware Sort call from a Source to a Sink.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,8 +35,17 @@ func main() {
 	}
 	fmt.Println("plan:", plan)
 
-	// Generate, sort, verify.
-	res, err := sorter.SortGenerated(colsort.Threaded, n, record.Uniform{Seed: 42})
+	// Generate, sort, verify: one call. A progress callback watches the
+	// passes go by; swap the Generate source for FromFile (and the nil
+	// sink for ToFile) to sort real data.
+	res, err := sorter.Sort(context.Background(),
+		colsort.Generate(record.Uniform{Seed: 42}, n), nil,
+		colsort.WithAlgorithm(colsort.Threaded),
+		colsort.WithProgress(func(ev colsort.Progress) {
+			if ev.Round == ev.Rounds {
+				fmt.Printf("  pass %d/%d done\n", ev.Pass, ev.Passes)
+			}
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}

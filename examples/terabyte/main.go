@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -56,7 +57,9 @@ func main() {
 		log.Fatal(err)
 	}
 	const n = (8 << 11) * 8 // r = 2^14, s = 8: 8 MiB of data
-	res, err := small.SortGenerated(colsort.MColumn, n, record.NearlySorted{Seed: 3, Window: 4096})
+	res, err := small.Sort(context.Background(),
+		colsort.Generate(record.NearlySorted{Seed: 3, Window: 4096}, n), nil,
+		colsort.WithAlgorithm(colsort.MColumn))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,14 +3,22 @@
 // A search engine accumulates query-log records whose keys are heavily
 // skewed (a few hot queries dominate — Zipf-like). The logs exceed main
 // memory and must be sorted on disk before index building. This example
-// sorts the same skewed data set with each algorithm the configuration
-// admits, shows that skew does not affect the oblivious algorithms'
-// behaviour (identical operation counts as uniform data), and lets the
-// problem-size planner pick the algorithm when the log outgrows the
-// threaded bound.
+// shows the v1 API on that workload:
+//
+//  1. Real record schema: each 64-byte log entry carries its query hash at
+//     offset 0 and its TIMESTAMP at offset 16. A KeySpec sorts the log by
+//     the timestamp field — no reformatting of the records — and the
+//     sorted stream comes back through a Sink in the original layout.
+//  2. Obliviousness: the same sort on Zipf-skewed and uniform keys must
+//     produce identical operation counts (Section 2).
+//  3. Planning: when the archive outgrows the threaded bound, the planner
+//     says why, and which relaxation still fits.
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/binary"
 	"fmt"
 	"log"
 
@@ -18,28 +26,76 @@ import (
 	"colsort/internal/record"
 )
 
+// A log entry is 64 bytes: query hash, client id, timestamp, payload.
+const (
+	recSize    = 64
+	tsOffset   = 16 // the timestamp field the log must be ordered by
+	logRecords = 1 << 17
+)
+
+// makeLog builds today's query log: Zipf-skewed query hashes, timestamps
+// in scrambled arrival order (log shards land out of order).
+func makeLog() []byte {
+	b := make([]byte, logRecords*recSize)
+	for i := 0; i < logRecords; i++ {
+		rec := b[i*recSize:]
+		h := record.Hash64(uint64(i) ^ 0x5eed)
+		binary.BigEndian.PutUint64(rec[0:], ^(h % (1 << 20)))        // skewed query hash
+		binary.BigEndian.PutUint64(rec[8:], h>>32)                   // client id
+		binary.BigEndian.PutUint64(rec[tsOffset:], record.Hash64(h)) // timestamp, scrambled
+	}
+	return b
+}
+
 func main() {
 	sorter, err := colsort.New(colsort.Config{
 		Procs:      8,
 		Disks:      8,
 		MemPerProc: 1 << 14, // deliberately small memory: 1 MiB columns
-		RecordSize: 64,
+		RecordSize: recSize,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
-	// Today's log: 2^19 records (32 MiB).
+	fmt.Println("== sorting today's query log by its timestamp field (KeySpec) ==")
+	raw := makeLog()
+	var sorted bytes.Buffer
+	res, err := sorter.Sort(ctx, colsort.FromBytes(raw), colsort.ToWriter(&sorted),
+		colsort.WithAlgorithm(colsort.Threaded),
+		colsort.WithKeySpec(colsort.KeySpec{Offset: tsOffset, Width: 8}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.Close()
+	out := sorted.Bytes()
+	if len(out) != len(raw) {
+		log.Fatalf("sink got %d bytes, want %d", len(out), len(raw))
+	}
+	var prev uint64
+	for i := 0; i < logRecords; i++ {
+		ts := binary.BigEndian.Uint64(out[i*recSize+tsOffset:])
+		if ts < prev {
+			log.Fatalf("record %d out of timestamp order", i)
+		}
+		prev = ts
+	}
+	fmt.Printf("%d log entries ordered by the timestamp at byte %d; layout untouched\n",
+		logRecords, tsOffset)
+
+	// Today's log for the oblivious check: 2^19 records (32 MiB).
 	const today = 1 << 19
 	zipf := record.Zipf{Seed: 2003}
 
-	fmt.Println("== sorting today's query log (32 MiB, Zipf-distributed keys) ==")
+	fmt.Println("\n== obliviousness: skewed vs uniform keys, identical traffic ==")
 	for _, alg := range []colsort.Algorithm{colsort.Threaded, colsort.MColumn} {
 		if _, err := sorter.Plan(alg, today); err != nil {
 			fmt.Printf("%-14v skipped: %v\n", alg, err)
 			continue
 		}
-		res, err := sorter.SortGenerated(alg, today, zipf)
+		res, err := sorter.Sort(ctx, colsort.Generate(zipf, today), nil,
+			colsort.WithAlgorithm(alg))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -51,7 +107,8 @@ func main() {
 		// Obliviousness check (Section 2: "our algorithm's I/O and
 		// communication patterns are oblivious to the keys"): the same
 		// sort on uniform data must produce identical traffic.
-		uni, err := sorter.SortGenerated(alg, today, record.Uniform{Seed: 7})
+		uni, err := sorter.Sort(ctx, colsort.Generate(record.Uniform{Seed: 7}, today), nil,
+			colsort.WithAlgorithm(alg))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -68,7 +125,7 @@ func main() {
 	// why, and which relaxation still fits.
 	fmt.Println("\n== planning the quarterly archive ==")
 	for _, n := range []int64{1 << 20, 1 << 22, 1 << 24} {
-		fmt.Printf("archive of %d MiB:\n", n*64>>20)
+		fmt.Printf("archive of %d MiB:\n", n*recSize>>20)
 		for _, alg := range []colsort.Algorithm{colsort.Threaded, colsort.Subblock, colsort.MColumn} {
 			if _, err := sorter.Plan(alg, n); err != nil {
 				fmt.Printf("  %-14v NO  (%v)\n", alg, err)

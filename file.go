@@ -1,71 +1,17 @@
 package colsort
 
 import (
-	"bufio"
+	"context"
 	"fmt"
-	"io"
 	"os"
 
 	"colsort/internal/core"
-	"colsort/internal/pdm"
-	"colsort/internal/record"
-	"colsort/internal/sim"
 )
 
-// fileGen generates records by reading them back from a real input file, so
-// the generator-driven input path (Store.Fill, input checksum) works off
-// on-disk data. Both consumers scan indices in ascending order, so reads
-// go through a chunked buffer — one pread per fileGenBufSize instead of
-// one per record. Gen cannot return an error, so read failures are latched
-// and checked after the scans.
-type fileGen struct {
-	f    *os.File
-	z    int
-	err  error
-	buf  []byte
-	base int64 // file offset of buf[0]
-}
-
-// fileGenBufSize is the read-chunk size of the input scans.
-const fileGenBufSize = 1 << 20
-
-func (g *fileGen) Name() string { return "file" }
-
-func (g *fileGen) Gen(rec []byte, idx int64) {
-	off := idx * int64(g.z)
-	end := off + int64(g.z)
-	if off < g.base || end > g.base+int64(len(g.buf)) {
-		g.refill(off)
-	}
-	if k := off - g.base; end <= g.base+int64(len(g.buf)) {
-		copy(rec, g.buf[k:k+int64(g.z)])
-		return
-	}
-	if g.err == nil {
-		g.err = fmt.Errorf("colsort: short read of input record %d", idx)
-	}
-	for i := range rec {
-		rec[i] = 0
-	}
-}
-
-func (g *fileGen) refill(off int64) {
-	if cap(g.buf) == 0 {
-		g.buf = make([]byte, fileGenBufSize)
-	}
-	b := g.buf[:cap(g.buf)]
-	n, err := g.f.ReadAt(b, off)
-	if err != nil && err != io.EOF && g.err == nil {
-		g.err = fmt.Errorf("colsort: read input at offset %d: %w", off, err)
-	}
-	g.buf = b[:n]
-	g.base = off
-}
-
-// PlanFile reports the plan SortFile would execute for the file at inPath:
-// its record count padded to the first sortable power of two. It lets
-// callers (and `colsort -in ... -plan`) price a file sort without running
-// it.
+// PlanFile reports the plan SortFile (or Sort with FromFile) would execute
+// for the file at inPath: its record count padded to the first sortable
+// power of two. It lets callers (and `colsort -in ... -plan`) price a file
+// sort without running it.
 func (s *Sorter) PlanFile(alg Algorithm, inPath string) (core.Plan, error) {
 	info, err := os.Stat(inPath)
 	if err != nil {
@@ -80,99 +26,23 @@ func (s *Sorter) PlanFile(alg Algorithm, inPath string) (core.Plan, error) {
 }
 
 // SortFile sorts the RecordSize-byte records of the file at inPath into a
-// newly created file at outPath — the end-to-end "sort a file" path. The
-// run uses the configured simulated cluster (file-back its disks via
-// Config.Dir to keep the scratch space genuinely out-of-core, and enable
-// Config.Async to overlap the scans with disk service time). Any record
-// count ≥ 1 is accepted: the sort is padded to the next sortable power of
-// two and only the real records are written out. The output is verified
-// (sortedness + multiset) before outPath is written, so a failed sort
-// never leaves a plausible output file behind.
+// newly created file at outPath — the end-to-end "sort a file" path. Any
+// record count ≥ 1 is accepted (the run is padded to the next sortable
+// power of two) and the output is verified before outPath is written, so a
+// failed sort never leaves a plausible output file behind.
 //
-// The returned Result carries the operation counts and estimates; the
-// caller owns Close.
+// Deprecated: use Sort with FromFile and ToFile, which additionally takes
+// a context and the full option set (key schema, progress, padding
+// policy).
 func (s *Sorter) SortFile(alg Algorithm, inPath, outPath string) (*Result, error) {
-	z := s.cfg.RecordSize
-	f, err := os.Open(inPath)
-	if err != nil {
-		return nil, fmt.Errorf("colsort: %w", err)
-	}
-	defer f.Close()
-	info, err := f.Stat()
-	if err != nil {
-		return nil, fmt.Errorf("colsort: %w", err)
-	}
-	if info.Size() == 0 || info.Size()%int64(z) != 0 {
-		return nil, fmt.Errorf("colsort: input %s is %d bytes, not a positive multiple of the record size %d",
-			inPath, info.Size(), z)
-	}
-	n := info.Size() / int64(z)
-	g := &fileGen{f: f, z: z}
-	res, err := s.SortGeneratedAny(alg, n, g)
-	if err != nil {
-		return nil, err
-	}
-	if g.err != nil {
-		res.Close()
-		return nil, g.err
-	}
-	// Verify BEFORE writing the output file: a failed sort must not leave
-	// a plausible-looking sorted.dat behind for a caller to consume.
-	if err := res.Verify(); err != nil {
-		res.Close()
-		return nil, fmt.Errorf("colsort: refusing to write %s: %w", outPath, err)
-	}
-	if err := res.WriteFile(outPath); err != nil {
-		res.Close()
-		return nil, err
-	}
-	return res, nil
+	return s.Sort(context.Background(), FromFile(inPath), ToFile(outPath), WithAlgorithm(alg))
 }
 
-// WriteFile streams the sorted records (excluding any power-of-two padding)
-// into a newly created file at path, in the global column-major sorted
-// order. Each owned row segment is prefetched one step ahead of the file
-// writes, so an async-backed store overlaps the output scan with its disk
-// service time.
+// WriteFile streams the sorted records (excluding any power-of-two padding,
+// and decoded back to the caller's key layout) into a newly created file at
+// path, in the global column-major sorted order. Each owned row segment is
+// prefetched one step ahead of the file writes, so an async-backed store
+// overlaps the output scan with its disk service time.
 func (r *Result) WriteFile(path string) error {
-	st := r.Output
-	out, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("colsort: %w", err)
-	}
-	w := bufio.NewWriterSize(out, 1<<20)
-
-	var cnt sim.Counters
-	buf := record.Make(st.R, st.RecSize)
-	remaining := r.RealRecords()
-	err = st.ScanSegments(func(p, j, lo, hi int) error {
-		if remaining <= 0 {
-			return pdm.ErrStopScan // pad tail: neither read nor prefetched
-		}
-		chunk := buf.Sub(0, hi-lo)
-		if err := st.ReadRows(&cnt, p, j, lo, chunk); err != nil {
-			return err
-		}
-		recs := int64(chunk.Len())
-		if recs > remaining {
-			recs = remaining
-		}
-		if _, err := w.Write(chunk.Data[:int(recs)*st.RecSize]); err != nil {
-			return fmt.Errorf("colsort: write %s: %w", path, err)
-		}
-		remaining -= recs
-		return nil
-	})
-	if err != nil {
-		out.Close()
-		return err
-	}
-	if err := w.Flush(); err != nil {
-		out.Close()
-		return fmt.Errorf("colsort: write %s: %w", path, err)
-	}
-	if err := out.Close(); err != nil {
-		return fmt.Errorf("colsort: close %s: %w", path, err)
-	}
-	return nil
+	return r.drainTo(context.Background(), ToFile(path))
 }

@@ -18,6 +18,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -99,8 +100,9 @@ type Cluster struct {
 	barrierGen int
 	barrierCv  *sync.Cond
 
-	abortOnce sync.Once
-	aborted   bool
+	abortOnce  sync.Once
+	aborted    bool
+	abortCause error // first cause passed to abort; read after Run's wait
 }
 
 // New builds a cluster fabric for p processors. The whole fabric is two
@@ -126,11 +128,14 @@ func (c *Cluster) box(dst, src int) *mailbox { return &c.boxes[dst*c.p+src] }
 func (c *Cluster) P() int { return c.p }
 
 // abort shuts down all mailboxes and releases barrier waiters, so that
-// every blocked processor unblocks with ErrAborted.
-func (c *Cluster) abort() {
+// every blocked processor unblocks with ErrAborted. The first cause is
+// retained so Run can report the root of an externally triggered abort
+// (context cancellation) rather than the generic ErrAborted.
+func (c *Cluster) abort(cause error) {
 	c.abortOnce.Do(func() {
 		c.barrierMu.Lock()
 		c.aborted = true
+		c.abortCause = cause
 		c.barrierCv.Broadcast()
 		c.barrierMu.Unlock()
 		for i := range c.boxes {
@@ -302,9 +307,36 @@ func (pr *Proc) AllReduceUint64(cnt *sim.Counters, tag int, x uint64, op func(a,
 // all of them. The first failure (error or panic) aborts the cluster,
 // unblocking peers; Run returns that first failure.
 func Run(p int, fn func(*Proc) error) error {
+	return RunCtx(context.Background(), p, fn)
+}
+
+// RunCtx is Run under a context: when ctx is cancelled the whole fabric is
+// aborted — every processor blocked in a send, receive, collective or
+// barrier unblocks with ErrAborted — and RunCtx returns an error wrapping
+// ctx's cause (so errors.Is(err, context.Canceled) and DeadlineExceeded
+// work) once every processor goroutine has unwound. No goroutine outlives
+// the call.
+func RunCtx(ctx context.Context, p int, fn func(*Proc) error) error {
 	c := New(p)
 	errs := make([]error, p)
 	var wg sync.WaitGroup
+	// The watcher turns a context cancellation into a fabric abort; done is
+	// closed after all ranks unwind so the watcher never outlives RunCtx.
+	done := make(chan struct{})
+	if ctx.Done() != nil {
+		var watch sync.WaitGroup
+		watch.Add(1)
+		go func() {
+			defer watch.Done()
+			select {
+			case <-ctx.Done():
+				c.abort(ctx.Err())
+			case <-done:
+			}
+		}()
+		defer watch.Wait()
+		defer close(done)
+	}
 	for rank := 0; rank < p; rank++ {
 		wg.Add(1)
 		go func(rank int) {
@@ -312,12 +344,12 @@ func Run(p int, fn func(*Proc) error) error {
 			defer func() {
 				if r := recover(); r != nil {
 					errs[rank] = fmt.Errorf("cluster: rank %d panicked: %v", rank, r)
-					c.abort()
+					c.abort(errs[rank])
 				}
 			}()
 			if err := fn(&Proc{rank: rank, c: c}); err != nil {
 				errs[rank] = err
-				c.abort()
+				c.abort(err)
 			}
 		}(rank)
 	}
@@ -333,6 +365,19 @@ func Run(p int, fn func(*Proc) error) error {
 		}
 		if first == nil {
 			first = err
+		}
+	}
+	if first != nil {
+		// Reached only when EVERY failing rank reported a cascaded abort —
+		// a genuine root-cause error would have been returned by the loop
+		// above. The abort's recorded cause can then only be one supplied
+		// from outside the ranks: the watcher's ctx.Err(). Attribute the
+		// failure to it so callers see context.Canceled/DeadlineExceeded.
+		c.barrierMu.Lock()
+		cause := c.abortCause
+		c.barrierMu.Unlock()
+		if cause != nil && !errors.Is(cause, ErrAborted) {
+			return fmt.Errorf("%w: %w", ErrAborted, cause)
 		}
 	}
 	return first

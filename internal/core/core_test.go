@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -23,7 +24,7 @@ func runAlg(t *testing.T, alg Algorithm, n int64, p, d, mem, z int, g record.Gen
 		t.Fatal(err)
 	}
 	defer input.Close()
-	res, err := Run(pl, m, input)
+	res, err := Run(context.Background(), pl, m, input, Hooks{})
 	if err != nil {
 		t.Fatalf("%v %s: %v", alg, pl, err)
 	}
@@ -178,7 +179,7 @@ func TestFileBackend(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer input.Close()
-	res, err := Run(pl, m, input)
+	res, err := Run(context.Background(), pl, m, input, Hooks{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func TestBaselinePreservesData(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer input.Close()
-		res, err := Run(pl, m, input)
+		res, err := Run(context.Background(), pl, m, input, Hooks{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -288,7 +289,7 @@ func TestRunRejectsMismatchedInput(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer wrong.Close()
-	if _, err := Run(pl, m, wrong); err == nil {
+	if _, err := Run(context.Background(), pl, m, wrong, Hooks{}); err == nil {
 		t.Fatal("mismatched input store accepted")
 	}
 	badMachine := pdm.Machine{P: 4, D: 4}
@@ -297,7 +298,7 @@ func TestRunRejectsMismatchedInput(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer good.Close()
-	if _, err := Run(pl, badMachine, good); err == nil {
+	if _, err := Run(context.Background(), pl, badMachine, good, Hooks{}); err == nil {
 		t.Fatal("mismatched machine accepted")
 	}
 }
@@ -316,7 +317,7 @@ func TestDiskFaultPropagates(t *testing.T) {
 	// Wrap processor 1's disk so it fails partway through pass 1 reads.
 	inner := input.Arrays[1].Disks[0]
 	input.Arrays[1].Disks[0] = &pdm.FaultDisk{Inner: inner, Budget: 3 * 512 * 16 / 2}
-	_, err = Run(pl, m, input)
+	_, err = Run(context.Background(), pl, m, input, Hooks{})
 	if err == nil {
 		t.Fatal("injected disk fault did not surface")
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"colsort/internal/bitperm"
@@ -117,7 +118,7 @@ func TestBaselineCountersPureIO(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer input.Close()
-	res, err := Run(pl, m, input)
+	res, err := Run(context.Background(), pl, m, input, Hooks{})
 	if err != nil {
 		t.Fatal(err)
 	}

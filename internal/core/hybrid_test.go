@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -23,7 +24,7 @@ func runHybrid(t *testing.T, n int64, p, d, mem, z, g int, gen record.Generator)
 		t.Fatal(err)
 	}
 	defer input.Close()
-	res, err := Run(pl, m, input)
+	res, err := Run(context.Background(), pl, m, input, Hooks{})
 	if err != nil {
 		t.Fatalf("hybrid %s: %v", pl, err)
 	}

@@ -23,7 +23,7 @@ import (
 // sort, communicate, sort, communicate, permute, write.
 //
 // The pass writes TRUE row order — its output is the sorted file.
-func runMergePass(pr *cluster.Proc, pl Plan, runLen int, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters) error {
+func runMergePass(pr *cluster.Proc, pl Plan, runLen int, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters, onRound func()) error {
 	p := pr.Rank()
 	P := pl.P
 	r, s, z := pl.R, pl.S, pl.Z
@@ -132,6 +132,9 @@ func runMergePass(pr *cluster.Proc, pl Plan, runLen int, in, out *pdm.Store, tag
 		}
 		pool.Put(rd.merged) // zero Slice for column 0: no-op
 		pool.Put(rd.buf)
+		if onRound != nil {
+			onRound()
+		}
 		return nil
 	}
 
@@ -158,7 +161,7 @@ func runMergePass(pr *cluster.Proc, pl Plan, runLen int, in, out *pdm.Store, tag
 
 // runSortPass is the degenerate pass used for single-column problems
 // (s = 1): read, sort, write true order.
-func runSortPass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, pool *record.Pool, cnt *sim.Counters) error {
+func runSortPass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, pool *record.Pool, cnt *sim.Counters, onRound func()) error {
 	p := pr.Rank()
 	if pl.S != 1 {
 		return fmt.Errorf("core: sort pass requires s=1, got s=%d", pl.S)
@@ -181,6 +184,9 @@ func runSortPass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, pool *record.Poo
 	pool.Put(sorted)
 	if err != nil {
 		return err
+	}
+	if onRound != nil {
+		onRound()
 	}
 	return out.Flush(0)
 }

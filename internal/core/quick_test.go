@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -43,7 +44,7 @@ func TestRandomLegalConfigs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Run(pl, m, input)
+		res, err := Run(context.Background(), pl, m, input, Hooks{})
 		input.Close()
 		if err != nil {
 			t.Fatalf("trial %d %s: %v", trial, pl, err)
@@ -72,7 +73,7 @@ func TestSeedsQuick(t *testing.T) {
 			return false
 		}
 		defer input.Close()
-		res, err := Run(pl, m, input)
+		res, err := Run(context.Background(), pl, m, input, Hooks{})
 		if err != nil {
 			return false
 		}
@@ -156,7 +157,7 @@ func TestIntermediateRunStructure(t *testing.T) {
 	defer out.Close()
 	cnts := make([]sim.Counters, pl.P)
 	err = cluster.Run(pl.P, func(pr *cluster.Proc) error {
-		return passes[0](pr, input, out, 0, record.NewPool(), &cnts[pr.Rank()])
+		return passes[0](pr, input, out, 0, record.NewPool(), &cnts[pr.Rank()], nil)
 	})
 	if err != nil {
 		t.Fatal(err)

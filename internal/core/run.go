@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -39,12 +40,34 @@ func (res *Result) TotalCounters() sim.Counters {
 	return tot
 }
 
+// Progress reports the advance of a running sort. Pass is 1-based; Round
+// counts pipeline rounds completed within the pass, so Round == 0 marks the
+// pass starting and Round == Rounds the pass complete. Events are emitted by
+// rank 0 only (one processor's view; the passes are bulk-synchronous, so it
+// is representative).
+type Progress struct {
+	Pass   int // 1-based index of the pass the event belongs to
+	Passes int // total passes of the algorithm
+	Round  int // rounds completed by rank 0 within this pass
+	Rounds int // rounds per processor per pass
+}
+
+// Hooks customizes a run. The zero value disables every hook.
+type Hooks struct {
+	// Progress, when non-nil, receives pass/round completion events. It is
+	// called synchronously from the run's internal goroutines (rank 0's
+	// pass loop and its pipeline sink) and must be fast and non-blocking;
+	// calls are sequential, never concurrent.
+	Progress func(Progress)
+}
+
 // passFunc executes one pass on one processor. tagBase is the start of the
 // tag window reserved for this pass on the shared cluster fabric; pool is
 // the processor's persistent buffer pool, shared by all passes of the run
 // so that the steady state of the whole sort recycles rather than
-// allocates.
-type passFunc func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters) error
+// allocates. onRound, when non-nil, is invoked by the pass's pipeline sink
+// after each round's writes are issued (rank 0 only — progress reporting).
+type passFunc func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters, onRound func()) error
 
 // passTagWindow returns the width of the tag space one pass may use, so
 // that consecutive passes sharing one cluster fabric can never collide.
@@ -59,7 +82,14 @@ func passTagWindow(pl Plan) int {
 // input and returning a Result whose Output store holds the sorted data.
 // The input store is left intact (the paper likewise preserves inputs to
 // verify outputs); intermediate stores are closed as they are consumed.
-func Run(pl Plan, m pdm.Machine, input *pdm.Store) (*Result, error) {
+//
+// Cancelling ctx aborts the shared cluster fabric: every processor blocked
+// in communication, a barrier, or a pipeline stage unblocks and unwinds,
+// the per-pass stores (with their async disk workers and any backing
+// scratch files) are closed and removed, and Run returns an error
+// satisfying errors.Is(err, ctx.Err()) once the last goroutine has exited —
+// cancellation never leaks goroutines, disk workers or scratch files.
+func Run(ctx context.Context, pl Plan, m pdm.Machine, input *pdm.Store, hooks Hooks) (*Result, error) {
 	if input.R != pl.R || input.S != pl.S || input.RecSize != pl.Z ||
 		input.P != pl.P || input.Layout != pl.Layout ||
 		(pl.Layout == pdm.GroupBlocked && input.G != pl.Group) {
@@ -97,11 +127,18 @@ func Run(pl Plan, m pdm.Machine, input *pdm.Store) (*Result, error) {
 		cnts[k] = make([]sim.Counters, pl.P)
 	}
 	window := passTagWindow(pl)
+	rounds := pl.Rounds()
 	var failedPass atomic.Int64
 	failedPass.Store(-1)
 	var storeErr error
-	err = cluster.Run(pl.P, func(pr *cluster.Proc) error {
+	err = cluster.RunCtx(ctx, pl.P, func(pr *cluster.Proc) error {
 		for k, pass := range passes {
+			// A cancellation between passes is caught here even when the
+			// pass itself performs no communication (the baselines).
+			if err := ctx.Err(); err != nil {
+				failedPass.CompareAndSwap(-1, int64(k))
+				return err
+			}
 			if pr.Rank() == 0 {
 				stores[k+1], storeErr = pl.NewStore(m)
 			}
@@ -112,7 +149,16 @@ func Run(pl Plan, m pdm.Machine, input *pdm.Store) (*Result, error) {
 				failedPass.CompareAndSwap(-1, int64(k))
 				return storeErr
 			}
-			if err := pass(pr, stores[k], stores[k+1], k*window, pools[pr.Rank()], &cnts[k][pr.Rank()]); err != nil {
+			var onRound func()
+			if hooks.Progress != nil && pr.Rank() == 0 {
+				hooks.Progress(Progress{Pass: k + 1, Passes: len(passes), Round: 0, Rounds: rounds})
+				done := 0
+				onRound = func() {
+					done++
+					hooks.Progress(Progress{Pass: k + 1, Passes: len(passes), Round: done, Rounds: rounds})
+				}
+			}
+			if err := pass(pr, stores[k], stores[k+1], k*window, pools[pr.Rank()], &cnts[k][pr.Rank()], onRound); err != nil {
 				failedPass.CompareAndSwap(-1, int64(k))
 				return err
 			}
@@ -153,8 +199,8 @@ func passList(pl Plan) ([]passFunc, error) {
 		n := pl.Alg.Passes()
 		passes := make([]passFunc, n)
 		for k := range passes {
-			passes[k] = func(pr *cluster.Proc, in, out *pdm.Store, _ int, pool *record.Pool, cnt *sim.Counters) error {
-				return runSortPass(pr, pl, in, out, pool, cnt)
+			passes[k] = func(pr *cluster.Proc, in, out *pdm.Store, _ int, pool *record.Pool, cnt *sim.Counters, onRound func()) error {
+				return runSortPass(pr, pl, in, out, pool, cnt, onRound)
 			}
 		}
 		return passes, nil
@@ -165,17 +211,17 @@ func passList(pl Plan) ([]passFunc, error) {
 	identity := func(i, j int) int { return j }
 
 	scatter := func(spec scatterSpec) passFunc {
-		return func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters) error {
-			return runScatterPass(pr, pl, spec, in, out, tagBase, pool, cnt)
+		return func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters, onRound func()) error {
+			return runScatterPass(pr, pl, spec, in, out, tagBase, pool, cnt, onRound)
 		}
 	}
 	merge := func(runLen int) passFunc {
-		return func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters) error {
-			return runMergePass(pr, pl, runLen, in, out, tagBase, pool, cnt)
+		return func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters, onRound func()) error {
+			return runMergePass(pr, pl, runLen, in, out, tagBase, pool, cnt, onRound)
 		}
 	}
-	baseline := func(pr *cluster.Proc, in, out *pdm.Store, _ int, pool *record.Pool, cnt *sim.Counters) error {
-		return runBaselinePass(pr, pl, in, out, pool, cnt)
+	baseline := func(pr *cluster.Proc, in, out *pdm.Store, _ int, pool *record.Pool, cnt *sim.Counters, onRound func()) error {
+		return runBaselinePass(pr, pl, in, out, pool, cnt, onRound)
 	}
 
 	switch pl.Alg {
@@ -222,8 +268,8 @@ func passList(pl Plan) ([]passFunc, error) {
 
 	case MColumn:
 		mScatter := func(spec mcolSpec) passFunc {
-			return func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters) error {
-				return runMColScatterPass(pr, pl, spec, in, out, tagBase, pool, cnt)
+			return func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters, onRound func()) error {
+				return runMColScatterPass(pr, pl, spec, in, out, tagBase, pool, cnt, onRound)
 			}
 		}
 		return []passFunc{
@@ -231,8 +277,8 @@ func passList(pl Plan) ([]passFunc, error) {
 				destCol: func(rank int64, j int) int { return int(rank % int64(s)) }}),
 			mScatter(mcolSpec{name: "m-steps 3-4", chunk: r / s, redistribute: true, colInvariant: true,
 				destCol: func(rank int64, j int) int { return int(rank / (int64(r) / int64(s))) }}),
-			func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters) error {
-				return runMColMergePass(pr, pl, in, out, tagBase, pool, cnt)
+			func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters, onRound func()) error {
+				return runMColMergePass(pr, pl, in, out, tagBase, pool, cnt, onRound)
 			},
 		}, nil
 
@@ -240,8 +286,8 @@ func passList(pl Plan) ([]passFunc, error) {
 		sb := bitperm.MustSubblock(r, s)
 		q := sb.SqrtS()
 		mScatter := func(spec mcolSpec) passFunc {
-			return func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters) error {
-				return runMColScatterPass(pr, pl, spec, in, out, tagBase, pool, cnt)
+			return func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters, onRound func()) error {
+				return runMColScatterPass(pr, pl, spec, in, out, tagBase, pool, cnt, onRound)
 			}
 		}
 		return []passFunc{
@@ -253,16 +299,16 @@ func passList(pl Plan) ([]passFunc, error) {
 				}}),
 			mScatter(mcolSpec{name: "c-steps 3.2-4", chunk: r / s, redistribute: true, colInvariant: true,
 				destCol: func(rank int64, j int) int { return int(rank / (int64(r) / int64(s))) }}),
-			func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters) error {
-				return runMColMergePass(pr, pl, in, out, tagBase, pool, cnt)
+			func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters, onRound func()) error {
+				return runMColMergePass(pr, pl, in, out, tagBase, pool, cnt, onRound)
 			},
 		}, nil
 
 	case Hybrid:
 		c := int64(r / s)
 		hScatter := func(spec hybridSpec) passFunc {
-			return func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters) error {
-				return runHybridScatterPass(pr, pl, spec, in, out, tagBase, pool, cnt)
+			return func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters, onRound func()) error {
+				return runHybridScatterPass(pr, pl, spec, in, out, tagBase, pool, cnt, onRound)
 			}
 		}
 		return []passFunc{
@@ -272,8 +318,8 @@ func passList(pl Plan) ([]passFunc, error) {
 			hScatter(hybridSpec{name: "h-steps 3-4",
 				destCol: func(gi int64) int { return int(gi / c) },
 				occ:     func(gi int64) int64 { return gi % c }}),
-			func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters) error {
-				return runHybridMergePass(pr, pl, in, out, tagBase, pool, cnt)
+			func(pr *cluster.Proc, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters, onRound func()) error {
+				return runHybridMergePass(pr, pl, in, out, tagBase, pool, cnt, onRound)
 			},
 		}, nil
 
@@ -288,7 +334,7 @@ func passList(pl Plan) ([]passFunc, error) {
 // runBaselinePass reads every owned column and writes it back out — the
 // pure-I/O program whose 3- and 4-pass times form the floor lines of
 // Figure 2. It works on both layouts.
-func runBaselinePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, pool *record.Pool, cnt *sim.Counters) error {
+func runBaselinePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, pool *record.Pool, cnt *sim.Counters, onRound func()) error {
 	p := pr.Rank()
 	var cRead, cWrite sim.Counters
 
@@ -321,6 +367,9 @@ func runBaselinePass(pr *cluster.Proc, pl Plan, in, out *pdm.Store, pool *record
 			return err
 		}
 		pool.Put(rd.buf)
+		if onRound != nil {
+			onRound()
+		}
 		return nil
 	}
 	src := func(emit func(round) error) error {

@@ -93,7 +93,7 @@ func sortRunsFor(r, runLen int) []sortalg.Run {
 // write buffers cycle through pool, and the permutation is replayed from
 // precomputed tables (see pattern.go). It merges per-stage counters into
 // cnt when the pass completes.
-func runScatterPass(pr *cluster.Proc, pl Plan, spec scatterSpec, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters) error {
+func runScatterPass(pr *cluster.Proc, pl Plan, spec scatterSpec, in, out *pdm.Store, tagBase int, pool *record.Pool, cnt *sim.Counters, onRound func()) error {
 	p := pr.Rank()
 	P := pl.P
 	r, s, z := pl.R, pl.S, pl.Z
@@ -274,6 +274,9 @@ func runScatterPass(pr *cluster.Proc, pl Plan, spec scatterSpec, in, out *pdm.St
 		}
 		record.PutHeaders(rd.writes)
 		rd.writes = nil
+		if onRound != nil {
+			onRound()
+		}
 		return nil
 	}
 

@@ -1,6 +1,7 @@
 package figure2
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -20,7 +21,7 @@ func measure(t *testing.T, pl core.Plan) []sim.Counters {
 		t.Fatal(err)
 	}
 	defer input.Close()
-	res, err := core.Run(pl, m, input)
+	res, err := core.Run(context.Background(), pl, m, input, core.Hooks{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,98 @@
+package colsort
+
+import (
+	"colsort/internal/core"
+	"colsort/internal/record"
+)
+
+// KeySpec describes where the sort key lives inside a record and in which
+// direction to sort it: Width bytes at byte Offset, compared big-endian
+// (equivalently: lexicographically by bytes), Ascending or Descending. The
+// zero value is the library's native key — 8 bytes at offset 0, ascending —
+// so existing callers need not name one. Any offset/width that fits in the
+// record is legal, including widths over 8 bytes; records tied on the field
+// are ordered deterministically by their remaining bytes.
+//
+// A KeySpec is compiled (record.KeySpec.Compile) into an allocation-free
+// byte permutation applied on ingest and inverted on egress, so the sorting
+// kernels run at native-key speed whatever the schema.
+type KeySpec = record.KeySpec
+
+// Order is the direction of a KeySpec.
+type Order = record.Order
+
+// Key field sort directions.
+const (
+	Ascending  = record.Ascending
+	Descending = record.Descending
+)
+
+// Progress reports pass/round completion of a running sort; see
+// WithProgress. Round == 0 marks a pass starting, Round == Rounds the pass
+// complete.
+type Progress = core.Progress
+
+// PaddingPolicy says what Sort does when the record count is not directly
+// plannable (the algorithms sort power-of-two record counts subject to
+// divisibility conditions).
+type PaddingPolicy int
+
+const (
+	// PadAuto (the default) accepts any record count n ≥ 1: when n is not
+	// directly plannable the input is padded with maximal records up to the
+	// smallest power of two the planner accepts, and only the n real
+	// records are verified, reported and emitted. The relative overhead is
+	// below 2× and shrinks to the next-power-of-two gap.
+	PadAuto PaddingPolicy = iota
+	// PadNever requires n to satisfy the algorithm's restrictions exactly,
+	// failing with the planner's explanation otherwise.
+	PadNever
+)
+
+// sortOptions collects the functional options of one Sort call.
+type sortOptions struct {
+	alg      Algorithm
+	group    int // hybrid group size; 0 selects the non-hybrid alg
+	keySpec  KeySpec
+	padding  PaddingPolicy
+	progress func(Progress)
+}
+
+// Option customizes one Sort call; see the With* constructors.
+type Option func(*sortOptions)
+
+// WithAlgorithm selects the out-of-core sorting program (default Threaded).
+// The last algorithm-selecting option wins: it clears any hybrid group a
+// preceding WithHybridGroup set.
+func WithAlgorithm(alg Algorithm) Option {
+	return func(o *sortOptions) { o.alg, o.group = alg, 0 }
+}
+
+// WithHybridGroup selects hybrid group columnsort with group size g
+// (2 ≤ g ≤ P/2), the Section-6 interpolation between Threaded (g = 1) and
+// MColumn (g = P). Hybrid runs require a directly plannable power-of-two
+// record count (padding is not supported for it).
+func WithHybridGroup(g int) Option {
+	return func(o *sortOptions) { o.alg, o.group = Hybrid, g }
+}
+
+// WithKeySpec sorts on a caller-defined key field instead of the native
+// 8-bytes-at-offset-0 key, so real record formats (log entries, trace
+// headers) sort on their own fields without reformatting.
+func WithKeySpec(ks KeySpec) Option {
+	return func(o *sortOptions) { o.keySpec = ks }
+}
+
+// WithPadding sets the padding policy (default PadAuto).
+func WithPadding(p PaddingPolicy) Option {
+	return func(o *sortOptions) { o.padding = p }
+}
+
+// WithProgress registers a callback receiving pass/round completion events
+// from rank 0 of the simulated cluster. The callback runs on the sort's
+// internal goroutines — sequentially, never concurrently — and must be fast
+// and non-blocking; a callback that cancels the sort's context is the
+// supported way to abort from inside a progress handler.
+func WithProgress(fn func(Progress)) Option {
+	return func(o *sortOptions) { o.progress = fn }
+}

@@ -9,20 +9,31 @@
 # unlike ns/op; the fresh JSON is kept for artifact upload either way.
 #
 # Usage: scripts/bench_gate.sh [BASELINE] [FRESH_OUT]
-#   BASELINE       defaults to BENCH_1.json
+#   BASELINE       defaults to the highest-numbered committed BENCH_n.json,
+#                  so each PR is gated against its true predecessor rather
+#                  than a fixed historical snapshot
 #   FRESH_OUT      defaults to bench_fresh.json
 #   THRESHOLD_PCT  env override, defaults to 25
 set -eu
 cd "$(dirname "$0")/.."
 
-BASELINE="${1:-BENCH_1.json}"
+# latest_baseline prints the BENCH_n.json with the largest n (numeric, so
+# BENCH_10 sorts after BENCH_9).
+latest_baseline() {
+	ls BENCH_*.json 2>/dev/null |
+		sed -n 's/^BENCH_\([0-9][0-9]*\)\.json$/\1 BENCH_\1.json/p' |
+		sort -n | tail -n 1 | cut -d' ' -f2
+}
+
+BASELINE="${1:-$(latest_baseline)}"
 FRESH="${2:-bench_fresh.json}"
 THRESHOLD_PCT="${THRESHOLD_PCT:-25}"
 
-if [ ! -f "$BASELINE" ]; then
-	echo "bench_gate: baseline $BASELINE not found" >&2
+if [ -z "$BASELINE" ] || [ ! -f "$BASELINE" ]; then
+	echo "bench_gate: baseline ${BASELINE:-BENCH_n.json} not found" >&2
 	exit 2
 fi
+echo "bench_gate: gating against $BASELINE" >&2
 
 # Match the baseline's benchtime and restrict to the benchmarks it records
 # (new benchmarks have no baseline to regress against).

@@ -1,0 +1,227 @@
+package colsort
+
+import (
+	"context"
+	"fmt"
+
+	"colsort/internal/core"
+	"colsort/internal/pdm"
+	"colsort/internal/record"
+	"colsort/internal/sim"
+)
+
+// Sort is the v1 entry point: it sorts the records of src into dst under
+// ctx, replacing the SortGenerated / SortStore / SortFile family.
+//
+//	res, err := sorter.Sort(ctx, colsort.FromFile("in.dat"), colsort.ToFile("out.dat"),
+//	        colsort.WithAlgorithm(colsort.Subblock),
+//	        colsort.WithKeySpec(colsort.KeySpec{Offset: 16, Width: 8}))
+//
+// The input is ingested once, in index order, onto the simulated cluster's
+// disks (never more than one column portion in memory), sorted by the
+// configured algorithm, verified (global sortedness in PDM column-major
+// order plus multiset preservation) and — when dst is non-nil — streamed
+// into the sink with any padding trimmed and any KeySpec normalization
+// undone. A nil dst keeps the sorted data in Result.Output only, which
+// callers of the legacy entry points then verify and read themselves.
+//
+// Cancelling ctx (or exceeding its deadline) tears the run down: all P
+// processor goroutines, the pipeline stages between them and the
+// asynchronous disk workers unwind, write-behind queues drain, scratch
+// files are removed, and Sort returns an error satisfying
+// errors.Is(err, ctx.Err()) without leaking goroutines or files.
+//
+// The returned Result carries the exact operation counts and the cost
+// model; the caller owns Close. Sort calls on one Sorter must not overlap
+// (they share the machine's buffer pools), matching the legacy contract.
+func (s *Sorter) Sort(ctx context.Context, src Source, dst Sink, opts ...Option) (*Result, error) {
+	o := sortOptions{alg: Threaded, padding: PadAuto}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("colsort: nil Source")
+	}
+	codec, err := o.keySpec.Compile(s.cfg.RecordSize)
+	if err != nil {
+		return nil, fmt.Errorf("colsort: %w", err)
+	}
+	n, rd, err := src.Open(s.cfg.RecordSize)
+	if err != nil {
+		return nil, err
+	}
+	defer rd.Close()
+	if n < 1 {
+		return nil, fmt.Errorf("colsort: cannot sort %d records", n)
+	}
+	pl, err := s.planOpts(o, n)
+	if err != nil {
+		return nil, err
+	}
+
+	// An existing store of exactly the planned shape under the native key
+	// is consumed in place — no ingest copy, the legacy SortStore path.
+	input, ownInput, want, err := s.ingest(ctx, src, rd, pl, codec, n)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Run(ctx, pl, s.m, input, core.Hooks{Progress: o.progress})
+	if ownInput {
+		input.Close()
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Result: res, want: want, codec: codec}
+	if n < pl.N {
+		out.realN = n
+	}
+	if dst != nil {
+		// Verify BEFORE emitting: a failed sort must never hand the sink a
+		// plausible-looking output.
+		if err := out.Verify(); err != nil {
+			out.Close()
+			return nil, fmt.Errorf("colsort: refusing to emit output: %w", err)
+		}
+		if err := out.drainTo(ctx, dst); err != nil {
+			out.Close()
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// planOpts turns the options into a validated plan for n records.
+func (s *Sorter) planOpts(o sortOptions, n int64) (core.Plan, error) {
+	if o.group > 0 {
+		// Hybrid group columnsort: padding is not supported (the group size
+		// fixes the shape), so the count must be directly plannable.
+		return s.PlanHybrid(o.group, n)
+	}
+	if o.padding == PadNever {
+		return s.Plan(o.alg, n)
+	}
+	return s.planPadded(o.alg, n)
+}
+
+// ingest materializes the plan's input store: either the source's own store
+// consumed in place (ownInput = false), or a fresh store filled from the
+// source's record stream (ownInput = true). want is the multiset checksum
+// of the real records in the engine's normalized key space.
+func (s *Sorter) ingest(ctx context.Context, src Source, rd RecordReader, pl core.Plan, codec record.KeyCodec, n int64) (input *pdm.Store, ownInput bool, want record.Checksum, err error) {
+	if ss, ok := src.(*storeSource); ok && codec.Identity() && n == pl.N && storeMatchesPlan(ss.st, pl) {
+		want, err = ss.st.Checksum()
+		return ss.st, false, want, err
+	}
+	input, err = pl.NewStore(s.m)
+	if err != nil {
+		return nil, false, want, err
+	}
+	want, err = fillStore(ctx, input, rd, codec, n)
+	if err != nil {
+		input.Close()
+		return nil, false, want, err
+	}
+	return input, true, want, nil
+}
+
+// storeMatchesPlan mirrors core.Run's input-shape check.
+func storeMatchesPlan(st *pdm.Store, pl core.Plan) bool {
+	return st.R == pl.R && st.S == pl.S && st.RecSize == pl.Z && st.P == pl.P &&
+		st.Layout == pl.Layout && (pl.Layout != pdm.GroupBlocked || st.G == pl.Group)
+}
+
+// fillStore streams the source's records into the store in global
+// column-major index order (the order Store.Fill assigns), normalizing each
+// record through the codec, folding the real records into the returned
+// checksum, and padding any remainder with all-0xFF records — which are
+// maximal in the normalized space, so they sort to the end for every
+// KeySpec.
+func fillStore(ctx context.Context, st *pdm.Store, rd RecordReader, codec record.KeyCodec, n int64) (record.Checksum, error) {
+	var cnt sim.Counters
+	var want record.Checksum
+	var buf record.Slice
+	var idx int64
+	for j := 0; j < st.S; j++ {
+		for p := 0; p < st.P; p++ {
+			lo, hi := st.OwnedRows(p, j)
+			if lo == hi {
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return want, err
+			}
+			if buf.Size == 0 || buf.Len() < hi-lo {
+				buf = record.Make(hi-lo, st.RecSize)
+			}
+			chunk := buf.Sub(0, hi-lo)
+			for i := 0; i < chunk.Len(); i++ {
+				rec := chunk.Record(i)
+				if idx < n {
+					if err := rd.ReadRecord(rec); err != nil {
+						return want, fmt.Errorf("colsort: input record %d: %w", idx, err)
+					}
+					codec.EncodeRecord(rec)
+					want.Add(rec)
+				} else {
+					for k := range rec {
+						rec[k] = 0xff
+					}
+				}
+				idx++
+			}
+			if err := st.WriteRows(&cnt, p, j, lo, chunk); err != nil {
+				return want, err
+			}
+		}
+	}
+	for p := 0; p < st.P; p++ {
+		if err := st.Flush(p); err != nil {
+			return want, err
+		}
+	}
+	return want, nil
+}
+
+// drainTo streams the result's real records into the sink, decoding each
+// chunk back to the caller's byte layout. Each owned row segment is
+// prefetched one step ahead, so an async-backed store overlaps the sink
+// writes with its disk service time.
+func (r *Result) drainTo(ctx context.Context, dst Sink) error {
+	st := r.Output
+	w, err := dst.Open(st.RecSize)
+	if err != nil {
+		return err
+	}
+	var cnt sim.Counters
+	buf := record.Make(st.R, st.RecSize)
+	remaining := r.RealRecords()
+	err = st.ScanSegments(func(p, j, lo, hi int) error {
+		if remaining <= 0 {
+			return pdm.ErrStopScan // pad tail: neither read nor prefetched
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		chunk := buf.Sub(0, hi-lo)
+		if err := st.ReadRows(&cnt, p, j, lo, chunk); err != nil {
+			return err
+		}
+		recs := int64(chunk.Len())
+		if recs > remaining {
+			recs = remaining
+		}
+		out := chunk.Sub(0, int(recs))
+		r.codec.Decode(out)
+		if err := w.Write(out); err != nil {
+			return err
+		}
+		remaining -= recs
+		return nil
+	})
+	if err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
