@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"colsort/internal/record"
+	"colsort/internal/testutil"
 )
 
 // TestAsyncMatchesSync is the acceptance check of the async layer: a
@@ -14,6 +15,7 @@ import (
 // exact operation counts to the synchronous path — the wrapper moves
 // completion off the issuing goroutine, never the logical access pattern.
 func TestAsyncMatchesSync(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	const n, p, mem, z = 1 << 14, 4, 1 << 10, 32
 	for _, alg := range []Algorithm{Threaded, Subblock, MColumn} {
 		t.Run(alg.String(), func(t *testing.T) {
@@ -55,6 +57,7 @@ func TestAsyncMatchesSync(t *testing.T) {
 func TestSortFile(t *testing.T) {
 	const n, z = 1000, 16
 	dir := t.TempDir()
+	testutil.CheckLeaks(t, filepath.Join(dir, "scratch"))
 	in := filepath.Join(dir, "input.dat")
 	out := filepath.Join(dir, "sorted.dat")
 

@@ -8,7 +8,10 @@ package colsort
 // what factor — are the reproduction targets, not absolute times.
 
 import (
+	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"colsort/internal/bounds"
@@ -343,6 +346,57 @@ func BenchmarkFigure2File(b *testing.B) {
 					b.Fatal(err)
 				}
 				res.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkMergeSortFile is the hierarchical path end to end: a file-backed
+// input 3× the threaded single-run bound, sorted file-to-file as runs plus
+// a loser-tree k-way merge, synchronous vs asynchronous (prefetch and
+// write-behind on the stores, the run spills AND the merged output stream).
+func BenchmarkMergeSortFile(b *testing.B) {
+	const p, mem, z = 4, 1 << 10, 64
+	probe, err := New(Config{Procs: p, MemPerProc: mem, RecordSize: z})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound := probe.MaxRecords(Threaded)
+	n := 3 * bound
+	for _, mode := range []struct {
+		name  string
+		async bool
+	}{
+		{"sync", false},
+		{"async", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			dir := b.TempDir()
+			in := filepath.Join(dir, "in.dat")
+			raw := record.Make(int(n), z)
+			record.Fill(raw, record.Uniform{Seed: 7}, 0)
+			if err := os.WriteFile(in, raw.Data, 0o644); err != nil {
+				b.Fatal(err)
+			}
+			s, err := New(Config{Procs: p, MemPerProc: mem, RecordSize: z,
+				Dir: filepath.Join(dir, "scratch"), Async: mode.async})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(n * z)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := filepath.Join(dir, "out.dat")
+				res, err := s.Sort(context.Background(), FromFile(in), ToFile(out),
+					WithAlgorithm(Threaded))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Merge == nil {
+					b.Fatal("benchmark input did not take the hierarchical path")
+				}
+				res.Close()
+				os.Remove(out)
 			}
 		})
 	}

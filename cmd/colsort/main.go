@@ -24,6 +24,11 @@
 // -writebehind size its per-disk queues); -disk-seek-us/-disk-mbps impose a
 // physical-disk service-time model so the overlap is visible on
 // page-cached hardware.
+//
+// Inputs beyond the selected algorithm's problem-size bound — or beyond a
+// -max-memory-mib cap — sort hierarchically: bounded runs, each a full
+// columnsort, streamed through a loser-tree k-way merge (-merge-fanin) into
+// the output file.
 package main
 
 import (
@@ -42,7 +47,7 @@ import (
 
 func main() {
 	algName := flag.String("alg", "threaded", "algorithm: threaded, threaded-4pass, subblock, m-columnsort, combined, hybrid, baseline-io-3pass, baseline-io-4pass")
-	n := flag.Int64("n", 1<<20, "records to sort (power of 2); ignored with -in")
+	n := flag.Int64("n", 1<<20, "records to sort (any count ≥ 1: non-plannable counts pad, above-bound counts sort hierarchically); ignored with -in")
 	p := flag.Int("p", 4, "processors (power of 2)")
 	d := flag.Int("d", 0, "disks (default P)")
 	mem := flag.Int("mem", 1<<14, "records of column buffer per processor")
@@ -58,6 +63,8 @@ func main() {
 	diskMBps := flag.Int("disk-mbps", 0, "model: sustained disk bandwidth in MiB/s (0: off)")
 	inPath := flag.String("in", "", "sort the records of this file (any count ≥ 1) instead of generating input")
 	outPath := flag.String("out", "", "write the sorted records to this file (requires -in)")
+	maxMemMiB := flag.Int64("max-memory-mib", 0, "cap one columnsort run at this many MiB of records; inputs above the cap (or the algorithm's bound) sort as runs + k-way merge (0: bound only)")
+	mergeFanIn := flag.Int("merge-fanin", 0, "maximum runs merged at once on the hierarchical path (0: default 16)")
 	keyOffset := flag.Int("key-offset", 0, "byte offset of the sort key field within each record")
 	keyWidth := flag.Int("key-width", 0, "byte width of the sort key field (0: 8)")
 	desc := flag.Bool("desc", false, "sort the key field in descending order")
@@ -99,6 +106,12 @@ func main() {
 	if alg == colsort.Hybrid {
 		opts = []colsort.Option{colsort.WithHybridGroup(*group)}
 	}
+	if *maxMemMiB > 0 {
+		opts = append(opts, colsort.WithMaxMemory(*maxMemMiB<<20))
+	}
+	if *mergeFanIn > 0 {
+		opts = append(opts, colsort.WithMergeFanIn(*mergeFanIn))
+	}
 	if *keyOffset != 0 || *keyWidth != 0 || *desc {
 		ks := colsort.KeySpec{Offset: *keyOffset, Width: *keyWidth}
 		if *desc {
@@ -107,20 +120,34 @@ func main() {
 		opts = append(opts, colsort.WithKeySpec(ks))
 	}
 	if *progress {
+		lastPct := -10 // one decade below 0 so the first merge event prints
 		opts = append(opts, colsort.WithProgress(func(ev colsort.Progress) {
+			if ev.Pass == 0 { // hierarchical merge events: report every 10%
+				pct := int(100 * ev.MergedRecords / ev.TotalRecords)
+				if pct/10 > lastPct/10 || ev.MergedRecords == ev.TotalRecords {
+					lastPct = pct
+					fmt.Fprintf(os.Stderr, "merge: %d/%d records (%d%%)\n", ev.MergedRecords, ev.TotalRecords, pct)
+				}
+				return
+			}
 			if ev.Round == 0 || ev.Round == ev.Rounds {
+				if ev.Batches > 0 {
+					fmt.Fprintf(os.Stderr, "run %d/%d pass %d/%d: %d/%d rounds\n",
+						ev.Batch, ev.Batches, ev.Pass, ev.Passes, ev.Round, ev.Rounds)
+					return
+				}
 				fmt.Fprintf(os.Stderr, "pass %d/%d: %d/%d rounds\n", ev.Pass, ev.Passes, ev.Round, ev.Rounds)
 			}
 		}))
 	}
 
 	if *planOnly {
-		pl, err := planFor(sorter, alg, *group, *inPath, *n)
+		plan, err := planFor(sorter, alg, *group, *inPath, *n, *z, *maxMemMiB<<20)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Println("plan:", pl)
+		fmt.Println("plan:", plan)
 		return
 	}
 
@@ -130,7 +157,17 @@ func main() {
 		src, dst = colsort.FromFile(*inPath), colsort.ToFile(*outPath)
 	} else {
 		src = colsort.Generate(g, *n)
-		opts = append(opts, colsort.WithPadding(colsort.PadNever))
+		_, perr := sorter.Plan(alg, *n)
+		if *maxMemMiB == 0 && (alg == colsort.Hybrid || perr == nil) {
+			// Exactly plannable (or hybrid, which plans its own shape):
+			// keep the strict no-padding contract of the legacy CLI.
+			opts = append(opts, colsort.WithPadding(colsort.PadNever))
+		} else {
+			// Padded, capped, or above-bound: Sort decides under PadAuto —
+			// possibly hierarchically, whose merged output only exists as a
+			// stream. Generated input has no -out, so drop it.
+			dst = colsort.Discard()
+		}
 	}
 
 	start := time.Now()
@@ -149,36 +186,94 @@ func main() {
 	isBaseline := alg == colsort.BaselineIO3 || alg == colsort.BaselineIO4
 	switch {
 	case *inPath != "":
-		// Sort verified before writing -out.
 		fmt.Printf("sorted %d records of %s into %s (plan: %s)\n", res.RealRecords(), *inPath, *outPath, res.Plan.String())
-		fmt.Println("verified: output sorted, multiset preserved")
+		if res.Merge != nil {
+			fmt.Println("verified in-stream: every run verified, merge order checked, multiset preserved")
+		} else {
+			// Single-run file sorts verify BEFORE -out is written.
+			fmt.Println("verified: output sorted, multiset preserved")
+		}
 	case !isBaseline:
 		if err := res.Verify(); err != nil {
 			fmt.Fprintln(os.Stderr, "VERIFICATION FAILED:", err)
 			os.Exit(1)
 		}
 		fmt.Println("plan:", res.Plan.String())
-		fmt.Println("verified: output sorted in PDM order, multiset preserved")
+		if res.Merge != nil {
+			fmt.Println("verified in-stream: every run verified, merge order checked, multiset preserved")
+		} else {
+			fmt.Println("verified: output sorted in PDM order, multiset preserved")
+		}
 	default:
 		fmt.Println("plan:", res.Plan.String())
 	}
 	report(res, wall)
 }
 
-// planFor prints the plan the equivalent Sort call would execute.
-func planFor(sorter *colsort.Sorter, alg colsort.Algorithm, group int, inPath string, n int64) (interface{ String() string }, error) {
-	if inPath != "" {
-		return sorter.PlanFile(alg, inPath)
-	}
+// planFor reports the plan the equivalent Sort call would execute,
+// including the hierarchical runs-plus-merge plan for inputs beyond the
+// single-run bound or a -max-memory-mib cap.
+func planFor(sorter *colsort.Sorter, alg colsort.Algorithm, group int, inPath string, n int64, z int, maxMem int64) (interface{ String() string }, error) {
 	if alg == colsort.Hybrid {
-		return sorter.PlanHybrid(group, n)
+		if inPath != "" {
+			return sorter.PlanFile(alg, inPath) // rejects hybrid file sorts, as the run would
+		}
+		pl, err := sorter.PlanHybrid(group, n)
+		if err == nil && maxMem > 0 && pl.N*int64(z) > maxMem {
+			// Match the run's rejection: hybrid cannot take the
+			// hierarchical path a run-size cap requires.
+			return nil, fmt.Errorf("-max-memory-mib needs the hierarchical path, which supports only non-hybrid algorithms")
+		}
+		return pl, err
 	}
-	return sorter.Plan(alg, n)
+	var single interface{ String() string }
+	var err error
+	if inPath != "" {
+		info, serr := os.Stat(inPath)
+		if serr != nil {
+			return nil, serr
+		}
+		n = info.Size() / int64(z)
+		single, err = sorter.PlanFile(alg, inPath)
+	} else {
+		// PlanPadded mirrors the PadAuto decision the run makes, so -plan
+		// agrees with the run for non-power-of-two counts too.
+		single, err = sorter.PlanPadded(alg, n)
+	}
+	overCap := err == nil && maxMem > 0 // a cap forces runs even when one run would fit
+	if err == nil && !overCap {
+		return single, nil
+	}
+	if err != nil && !errors.Is(err, colsort.ErrTooLarge) {
+		return nil, err
+	}
+	runPl, batches, herr := sorter.PlanHierarchical(alg, n, maxMem)
+	if herr != nil {
+		return nil, herr
+	}
+	if overCap && int64(batches) == 1 {
+		return single, nil // the cap admits the whole input in one run
+	}
+	return hierPlan{runPl: runPl, batches: batches}, nil
+}
+
+// hierPlan pretty-prints a hierarchical execution plan.
+type hierPlan struct {
+	runPl   interface{ String() string }
+	batches int
+}
+
+func (h hierPlan) String() string {
+	return fmt.Sprintf("hierarchical: %d runs + k-way merge, each run [%s]", h.batches, h.runPl)
 }
 
 func report(res *colsort.Result, wall time.Duration) {
 	tot := res.TotalCounters()
 	fmt.Printf("wall clock: %v (simulated cluster in one process)\n", wall.Round(time.Millisecond))
+	if m := res.Merge; m != nil {
+		fmt.Printf("hierarchical: %d runs × ≤%d records, %d merge level(s) at fan-in %d; merge moved %d MiB of run reads, %d MiB of spill+sink writes\n",
+			m.Runs, m.RunRecords, m.Levels, m.FanIn, m.BytesRead>>20, m.BytesWritten>>20)
+	}
 	fmt.Printf("disk:  %d MiB read, %d MiB written, %d segments\n",
 		tot.DiskReadBytes>>20, tot.DiskWriteBytes>>20, tot.DiskReadOps+tot.DiskWriteOps)
 	fmt.Printf("net:   %d MiB in %d messages (+%d self-messages)\n",

@@ -52,6 +52,12 @@ import (
 // Algorithm selects the out-of-core sorting program.
 type Algorithm = core.Algorithm
 
+// ErrTooLarge marks planning failures where N exceeds the algorithm's
+// problem-size restriction — the condition under which Sort (with PadAuto
+// and a non-hybrid algorithm) takes the hierarchical runs-plus-merge path
+// instead. Detect with errors.Is.
+var ErrTooLarge = core.ErrTooLarge
+
 // The available algorithms. See the package comment for their bounds.
 const (
 	Threaded4   = core.Threaded4
@@ -188,12 +194,42 @@ type Result struct {
 	// in its normalized key space, and every egress path decodes through
 	// it. The zero codec is the identity (native key layout).
 	codec record.KeyCodec
+	// Merge, non-nil after a hierarchical (above-bound) sort, reports the
+	// run-formation and merge statistics. Hierarchical results have a nil
+	// Output — the sorted records were streamed to the Sink, verified on
+	// the way — and their Plan describes ONE run of Merge.RunRecords
+	// records, not the whole input. PassCounters (and therefore Estimate /
+	// EstimateBeowulf) sum the engine passes of all run-formation batches
+	// only: the merge's own spill and sink traffic lives outside the cost
+	// model and is reported here in BytesRead/BytesWritten.
+	Merge *MergeStats
+}
+
+// MergeStats describes the hierarchical execution of an above-bound sort:
+// how the input was cut into engine-sized runs and how the runs were merged
+// back into one stream.
+type MergeStats struct {
+	Runs       int   // sorted runs formed (run-formation batches)
+	Levels     int   // merge-tree levels, including the final merge into the Sink
+	FanIn      int   // maximum runs merged at once
+	RunRecords int64 // records per full run (the single-run plan's N)
+
+	BytesRead    int64 // bytes read back from spilled runs by the merges
+	BytesWritten int64 // bytes written to run spills (formation and intermediate levels) plus streamed to the Sink
 }
 
 // Verify checks that the output is globally sorted (in the PDM column-major
 // order of footnote 6) and that the record multiset was preserved. For
 // padded sorts it verifies the real prefix and that only pads follow.
 func (r *Result) Verify() error {
+	if r.Output == nil {
+		// Hierarchical sorts verify in-stream: each run passes the engine's
+		// output verification before it may feed the merge, the merge
+		// checks the emitted order record by record, and the emitted
+		// multiset is compared against the ingest checksum at end of
+		// stream. A Result exists only when all of those passed.
+		return nil
+	}
 	if r.realN > 0 && r.realN < r.Plan.N {
 		return verify.OutputPrefix(r.Output, r.realN, r.want)
 	}
@@ -216,8 +252,14 @@ func (r *Result) EstimateBeowulf() sim.RunEstimate {
 	return r.Estimate(sim.Beowulf2003())
 }
 
-// Close releases the output store.
-func (r *Result) Close() error { return r.Output.Close() }
+// Close releases the output store (a no-op for hierarchical results, whose
+// output lives in the caller's Sink).
+func (r *Result) Close() error {
+	if r.Output == nil {
+		return nil
+	}
+	return r.Output.Close()
+}
 
 // SortGenerated generates n records from g (records are generated directly
 // onto the simulated disks; only one column portion is ever in memory),
@@ -241,6 +283,16 @@ func (s *Sorter) SortGenerated(alg Algorithm, n int64, g record.Generator) (*Res
 // Deprecated: use Sort with Generate; PadAuto is the default policy.
 func (s *Sorter) SortGeneratedAny(alg Algorithm, n int64, g record.Generator) (*Result, error) {
 	return s.Sort(context.Background(), Generate(g, n), nil, WithAlgorithm(alg))
+}
+
+// PlanPadded reports the plan a PadAuto Sort of n records would execute:
+// n itself when directly plannable, otherwise the smallest covering power
+// of two the planner accepts — the probe `colsort -plan` uses to predict a
+// run without executing it. Above-bound counts fail with ErrTooLarge (the
+// condition under which Sort switches to the hierarchical path; see
+// PlanHierarchical for that plan).
+func (s *Sorter) PlanPadded(alg Algorithm, n int64) (core.Plan, error) {
+	return s.planPadded(alg, n)
 }
 
 // planPadded finds the plan a padded sort of n records would execute: the

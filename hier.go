@@ -1,0 +1,339 @@
+package colsort
+
+// Hierarchical execution: the layer that takes Sort past any single
+// columnsort run's problem-size bound. When n exceeds what one run can hold
+// (the algorithm's restriction, or a WithMaxMemory cap), the source is
+// split into B maximal-size batches; each batch is sorted by the existing
+// engine on ONE persistent cluster fabric (warm buffer pools and pipeline
+// scratch across batches), verified, and spilled as a sorted run; and the
+// runs are combined by a loser-tree k-way merge with prefetch on the run
+// reads and write-behind on the merged output, streaming straight into the
+// Sink — no extra materialization pass. See DESIGN.md §7 for the contracts.
+
+import (
+	"errors"
+	"fmt"
+
+	"context"
+
+	"colsort/internal/core"
+	"colsort/internal/merge"
+	"colsort/internal/pdm"
+	"colsort/internal/record"
+	"colsort/internal/sim"
+	"colsort/internal/verify"
+)
+
+// defaultMergeFanIn is the runs-per-merge bound when WithMergeFanIn is not
+// given: wide enough that inputs dozens of times the bound merge in one
+// level, narrow enough that the read streams' prefetch buffers stay small.
+const defaultMergeFanIn = 16
+
+// wantHierarchical decides whether this Sort must take the hierarchical
+// (runs + merge) path: the record count exceeds the algorithm's single-run
+// problem-size bound, or a WithMaxMemory cap forces smaller runs. Hybrid
+// group runs and PadNever sorts keep their strict single-run contracts.
+func (s *Sorter) wantHierarchical(o sortOptions, pl core.Plan, plErr error) (bool, error) {
+	eligible := o.group == 0 && o.padding == PadAuto
+	if plErr == nil {
+		if o.maxMemory > 0 && pl.N*int64(pl.Z) > o.maxMemory {
+			if !eligible {
+				return false, fmt.Errorf("colsort: WithMaxMemory(%d) needs the hierarchical path, which supports only PadAuto and non-hybrid algorithms", o.maxMemory)
+			}
+			return true, nil
+		}
+		return false, nil
+	}
+	return eligible && errors.Is(plErr, core.ErrTooLarge), nil
+}
+
+// planRun finds the run plan of a hierarchical sort — the batch sizing
+// rule: the largest power-of-two record count the algorithm can sort in ONE
+// run under the configuration and the WithMaxMemory cap. The last, partial
+// batch is padded up to this same shape (with maximal records, trimmed at
+// spill time), so every batch reuses one plan and one fabric.
+func (s *Sorter) planRun(o sortOptions) (core.Plan, error) {
+	z := int64(s.cfg.RecordSize)
+	var best core.Plan
+	var smallest int64 // smallest plannable run, for the error message
+	found := false
+	for try := int64(1); try > 0 && try <= 1<<52; try *= 2 {
+		pl, err := s.Plan(o.alg, try)
+		if err != nil {
+			continue
+		}
+		if smallest == 0 {
+			smallest = try
+		}
+		if o.maxMemory > 0 && try*z > o.maxMemory {
+			continue // plannable but over the cap: only the error message cares
+		}
+		best, found = pl, true
+	}
+	if !found {
+		if o.maxMemory > 0 && smallest > 0 {
+			return core.Plan{}, fmt.Errorf("colsort: WithMaxMemory(%d) admits no single %v run (the smallest plannable run is %d records × %d B = %d bytes); raise the cap or shrink MemPerProc",
+				o.maxMemory, o.alg, smallest, s.cfg.RecordSize, smallest*z)
+		}
+		return core.Plan{}, fmt.Errorf("colsort: no single-run plan exists for %v under this configuration", o.alg)
+	}
+	return best, nil
+}
+
+// mergeChunkRecs sizes the per-run read chunk and the emit chunk of the
+// merges: half a column buffer by default, shrunk so that fanIn read
+// streams plus the emit queue stay within a WithMaxMemory cap, clamped so
+// chunks stay large enough to amortize per-chunk costs yet bounded in
+// memory.
+func (s *Sorter) mergeChunkRecs(o sortOptions, fanIn int) int {
+	c := s.cfg.MemPerProc / 2
+	if o.maxMemory > 0 {
+		if byBudget := int(o.maxMemory / int64((fanIn+4)*s.cfg.RecordSize)); byBudget < c {
+			c = byBudget
+		}
+	}
+	if c < 64 {
+		c = 64
+	}
+	if c > 1<<16 {
+		c = 1 << 16
+	}
+	return c
+}
+
+// PlanHierarchical reports how an above-bound Sort would execute n records
+// hierarchically: the single-run plan chosen by the batch sizing rule (the
+// largest plannable run, optionally capped at maxMemory bytes of records;
+// 0 means no cap) and the number of run-formation batches. It lets callers
+// and `colsort -plan` price an above-bound sort without running it.
+func (s *Sorter) PlanHierarchical(alg Algorithm, n int64, maxMemory int64) (runPlan core.Plan, batches int, err error) {
+	if n < 1 {
+		return core.Plan{}, 0, fmt.Errorf("colsort: cannot sort %d records", n)
+	}
+	if maxMemory < 0 {
+		return core.Plan{}, 0, fmt.Errorf("colsort: negative run-size cap %d", maxMemory)
+	}
+	runPlan, err = s.planRun(sortOptions{alg: alg, maxMemory: maxMemory})
+	if err != nil {
+		return core.Plan{}, 0, err
+	}
+	return runPlan, int((n + runPlan.N - 1) / runPlan.N), nil
+}
+
+// sortHierarchical executes the runs-plus-merge plan for n records arriving
+// on rd. The caller has already compiled the codec and validated the
+// options; rd is closed by Sort's defer.
+func (s *Sorter) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink, o sortOptions, codec record.KeyCodec, n int64) (*Result, error) {
+	if dst == nil {
+		// Wrap ErrTooLarge: callers branching on the sentinel (the legacy
+		// above-bound failure mode) must keep matching when the only thing
+		// missing is a Sink.
+		return nil, fmt.Errorf("colsort: %d records exceed the single-run bound (%w) and must stream through the hierarchical merge: pass a non-nil Sink (Discard() drops the output)", n, core.ErrTooLarge)
+	}
+	runPl, err := s.planRun(o)
+	if err != nil {
+		return nil, err
+	}
+	fanIn := o.fanIn
+	if fanIn == 0 {
+		fanIn = defaultMergeFanIn
+	}
+	chunk := s.mergeChunkRecs(o, fanIn)
+	nBatches := int((n + runPl.N - 1) / runPl.N)
+	stats := &MergeStats{FanIn: fanIn, RunRecords: runPl.N}
+
+	br, err := core.NewBatchRunner(ctx, runPl, s.m)
+	if err != nil {
+		return nil, err
+	}
+	defer br.Close()
+
+	spillSeq := 0
+	newSpill := func() (pdm.Disk, error) {
+		d, err := s.m.NewSpillDisk(spillSeq)
+		spillSeq++
+		return d, err
+	}
+
+	live := make([]*merge.Run, 0, nBatches)
+	defer func() {
+		for _, r := range live {
+			if r != nil {
+				r.Close()
+			}
+		}
+	}()
+
+	// Run formation: ingest one maximal batch at a time (the tail of the
+	// last batch padded with maximal records), sort it on the persistent
+	// fabric, verify it, and spill its real prefix — still in the codec's
+	// normalized key space, so the merge compares at native speed — as one
+	// sorted run.
+	var want record.Checksum
+	var passCnts [][]sim.Counters
+	remaining := n
+	for b := 0; b < nBatches; b++ {
+		real := remaining
+		if real > runPl.N {
+			real = runPl.N
+		}
+		remaining -= real
+		input, err := runPl.NewStore(s.m)
+		if err != nil {
+			return nil, err
+		}
+		cs, err := fillStore(ctx, input, rd, codec, real)
+		if err != nil {
+			input.Close()
+			return nil, err
+		}
+		want.Merge(cs)
+		var hooks core.Hooks
+		if o.progress != nil {
+			batch, total, fn := b+1, nBatches, o.progress
+			hooks.Progress = func(ev Progress) {
+				ev.Batch, ev.Batches = batch, total
+				fn(ev)
+			}
+		}
+		res, err := br.Run(input, hooks)
+		input.Close()
+		if err != nil {
+			return nil, err
+		}
+		if passCnts == nil {
+			passCnts = res.PassCounters
+		} else {
+			for k := range passCnts {
+				for p := range passCnts[k] {
+					passCnts[k][p].Add(res.PassCounters[k][p])
+				}
+			}
+		}
+		// Verify BEFORE trusting the run to the merge: a failed batch must
+		// never contribute a plausible-looking run.
+		if err := verifyRunStore(res.Output, real, cs); err != nil {
+			res.Output.Close()
+			return nil, fmt.Errorf("colsort: run %d of %d failed verification: %w", b+1, nBatches, err)
+		}
+		run, err := spillRun(ctx, res.Output, real, newSpill, chunk)
+		res.Output.Close()
+		if err != nil {
+			return nil, err
+		}
+		stats.BytesWritten += run.Bytes() // run-formation spill
+		live = append(live, run)
+	}
+	stats.Runs = len(live)
+	br.Close() // run formation done: release the fabric before merging
+
+	// Merge tree: reduce the run set level by level until one merge fans
+	// into the sink.
+	opt := merge.Options{ChunkRecs: chunk}
+	for len(live) > fanIn {
+		stats.Levels++
+		next := make([]*merge.Run, 0, (len(live)+fanIn-1)/fanIn)
+		for lo := 0; lo < len(live); lo += fanIn {
+			hi := lo + fanIn
+			if hi > len(live) {
+				hi = len(live)
+			}
+			if hi == lo+1 { // a lone leftover run passes through unrewritten
+				next = append(next, live[lo])
+				live[lo] = nil
+				continue
+			}
+			d, err := newSpill()
+			if err != nil {
+				live = append(next, live[lo:]...)
+				return nil, err
+			}
+			out, st, err := merge.MergeToRun(ctx, live[lo:hi], d, opt)
+			if err != nil {
+				d.Close()
+				live = append(next, live[lo:]...)
+				return nil, err
+			}
+			stats.BytesRead += st.BytesRead
+			stats.BytesWritten += st.BytesWritten
+			for i := lo; i < hi; i++ {
+				live[i].Close()
+				live[i] = nil
+			}
+			next = append(next, out)
+		}
+		live = next
+	}
+
+	// Final merge: stream straight into the sink, decoding each chunk on
+	// the write-behind worker so the sink's I/O and the codec's work
+	// overlap the compare/copy loop and the runs' prefetch. The emitted
+	// order is checked record by record and the emitted multiset compared
+	// to the ingest checksum at end of stream — streaming verification, at
+	// the cost that a late failure means the sink has already received
+	// bytes that must be discarded (Sort reports the error either way).
+	stats.Levels++
+	w, err := dst.Open(s.cfg.RecordSize)
+	if err != nil {
+		return nil, err
+	}
+	if o.progress != nil {
+		total, fn := nBatches, o.progress
+		opt.Progress = func(merged int64) {
+			fn(Progress{Batches: total, MergedRecords: merged, TotalRecords: n})
+		}
+	}
+	got, st, err := merge.Merge(ctx, live, func(c record.Slice) error {
+		codec.Decode(c)
+		return w.Write(c)
+	}, opt)
+	stats.BytesRead += st.BytesRead
+	stats.BytesWritten += st.BytesWritten
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	if !got.Equal(want) {
+		return nil, fmt.Errorf("colsort: streaming verification failed: the merged output's multiset (%d records) differs from the input's (%d); discard the sink's contents", got.Count, want.Count)
+	}
+	return &Result{
+		Result: &core.Result{Plan: runPl, PassCounters: passCnts},
+		want:   want,
+		realN:  n,
+		codec:  codec,
+		Merge:  stats,
+	}, nil
+}
+
+// verifyRunStore applies the engine's output verification to one run store
+// (prefix form when the batch was padded).
+func verifyRunStore(st *pdm.Store, real int64, cs record.Checksum) error {
+	if real < int64(st.R)*int64(st.S) {
+		return verify.OutputPrefix(st, real, cs)
+	}
+	return verify.Output(st, cs)
+}
+
+// spillRun streams the sorted store's real prefix onto a fresh spill disk
+// as one run, prefetching each segment one step ahead (scanRealPrefix)
+// while the writer's chunks retire through any write-behind layer.
+func spillRun(ctx context.Context, st *pdm.Store, real int64, newSpill func() (pdm.Disk, error), chunk int) (*merge.Run, error) {
+	d, err := newSpill()
+	if err != nil {
+		return nil, err
+	}
+	w := merge.NewWriter(d, st.RecSize, chunk)
+	if err := scanRealPrefix(ctx, st, real, w.Append); err != nil {
+		d.Close()
+		return nil, err
+	}
+	run, err := w.Finish()
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	return run, nil
+}

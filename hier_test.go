@@ -1,0 +1,347 @@
+package colsort
+
+// Tests of the hierarchical (above-bound) Sort path: run formation on a
+// persistent fabric, spilled sorted runs, and the streaming k-way merge.
+//
+// The acceptance bar (ISSUE 4): a file-backed input at least 3× larger than
+// the largest single-run bound sorts via Sorter.Sort with output
+// byte-identical to a reference sort, under ascending AND descending
+// KeySpecs, and a mid-merge cancel unwinds leak-free.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"colsort/internal/record"
+	"colsort/internal/testutil"
+)
+
+// refSortBytes returns the byte-identical expected output of sorting raw
+// under ks: the engine's total order is plain bytes.Compare over
+// codec-normalized records (field order first, deterministic tie-break on
+// the remaining bytes), decoded back to the caller's layout.
+func refSortBytes(t testing.TB, raw []byte, z int, ks KeySpec) []byte {
+	t.Helper()
+	codec, err := ks.Compile(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := record.NewSlice(append([]byte(nil), raw...), z)
+	codec.Encode(enc)
+	n := enc.Len()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return bytes.Compare(enc.Record(idx[a]), enc.Record(idx[b])) < 0
+	})
+	out := record.Make(n, z)
+	for i, j := range idx {
+		out.CopyRecord(i, enc, j)
+	}
+	codec.Decode(out)
+	return out.Data
+}
+
+// genRaw builds n records of z bytes from the given generator.
+func genRaw(n, z int, g record.Generator) []byte {
+	raw := make([]byte, n*z)
+	for i := 0; i < n; i++ {
+		g.Gen(raw[i*z:(i+1)*z], int64(i))
+	}
+	return raw
+}
+
+// TestHierarchicalFileBacked3x is the acceptance test: a file-backed input
+// more than 3× the largest single-run bound, sorted through FromFile/ToFile
+// under ascending and descending KeySpecs, byte-identical to the reference.
+func TestHierarchicalFileBacked3x(t *testing.T) {
+	const p, mem, z = 4, 256, 32
+	s, err := New(Config{Procs: p, MemPerProc: mem, RecordSize: z})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := s.MaxRecords(Threaded)
+	n := int(3*bound) + 123 // >3× the bound, non-power-of-two tail
+	raw := genRaw(n, z, record.Uniform{Seed: 21})
+
+	for _, order := range []Order{Ascending, Descending} {
+		t.Run(order.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			testutil.CheckLeaks(t, filepath.Join(dir, "scratch"))
+			in := filepath.Join(dir, "in.dat")
+			out := filepath.Join(dir, "out.dat")
+			if err := os.WriteFile(in, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			fs, err := New(Config{Procs: p, MemPerProc: mem, RecordSize: z,
+				Dir: filepath.Join(dir, "scratch"), Async: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ks := KeySpec{Offset: 8, Width: 8, Order: order}
+			res, err := fs.Sort(context.Background(), FromFile(in), ToFile(out),
+				WithAlgorithm(Threaded), WithKeySpec(ks))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer res.Close()
+			if res.Merge == nil {
+				t.Fatal("above-bound sort did not take the hierarchical path")
+			}
+			if wantRuns := (int64(n) + res.Merge.RunRecords - 1) / res.Merge.RunRecords; int64(res.Merge.Runs) != wantRuns {
+				t.Errorf("formed %d runs, want %d (run size %d)", res.Merge.Runs, wantRuns, res.Merge.RunRecords)
+			}
+			if res.RealRecords() != int64(n) {
+				t.Errorf("RealRecords = %d, want %d", res.RealRecords(), n)
+			}
+			got, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, refSortBytes(t, raw, z, ks)) {
+				t.Error("hierarchical output is not byte-identical to the reference sort")
+			}
+		})
+	}
+}
+
+// TestHierarchicalCancelMidMerge cancels during the k-way merge phase (a
+// merge progress event proves the merge is live): the sort must unwind with
+// context.Canceled, no goroutine leaks, and no scratch or spill files.
+func TestHierarchicalCancelMidMerge(t *testing.T) {
+	dir := t.TempDir()
+	testutil.CheckLeaks(t, dir)
+	const p, mem, z = 4, 256, 32
+	s, err := New(Config{Procs: p, MemPerProc: mem, RecordSize: z, Dir: dir, Async: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := s.MaxRecords(Threaded)
+	n := 4 * bound
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	sawMerge := false
+	res, err := s.Sort(ctx, Generate(record.Uniform{Seed: 5}, n), Discard(),
+		WithAlgorithm(Threaded),
+		WithProgress(func(ev Progress) {
+			if ev.Pass == 0 && ev.MergedRecords > 0 { // the k-way merge is running
+				sawMerge = true
+				once.Do(cancel)
+			}
+		}))
+	if err == nil {
+		res.Close()
+		t.Fatal("cancelled hierarchical sort returned no error")
+	}
+	if !sawMerge {
+		t.Fatal("no merge progress event observed before the failure")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want errors.Is(err, context.Canceled)", err)
+	}
+
+	// The sorter remains usable after the cancelled hierarchical run.
+	var out bytes.Buffer
+	ok, err := s.Sort(context.Background(), Generate(record.Uniform{Seed: 6}, 2*bound), ToWriter(&out))
+	if err != nil {
+		t.Fatalf("Sort after cancel: %v", err)
+	}
+	ok.Close()
+}
+
+// TestHierarchicalFanInLevels forces a multi-level merge tree (fan-in 2
+// over 6+ runs) and checks the output still matches the reference exactly.
+func TestHierarchicalFanInLevels(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	const p, mem, z = 4, 256, 16
+	s, err := New(Config{Procs: p, MemPerProc: mem, RecordSize: z})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := s.MaxRecords(Threaded)
+	n := int(6 * bound)
+	raw := genRaw(n, z, record.Zipf{Seed: 8})
+	var out bytes.Buffer
+	res, err := s.Sort(context.Background(), FromBytes(raw), ToWriter(&out),
+		WithAlgorithm(Threaded), WithMergeFanIn(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if res.Merge.Runs != 6 {
+		t.Errorf("formed %d runs, want 6", res.Merge.Runs)
+	}
+	if res.Merge.Levels < 3 {
+		t.Errorf("merge tree has %d levels, want ≥ 3 with fan-in 2 over 6 runs", res.Merge.Levels)
+	}
+	if !bytes.Equal(out.Bytes(), refSortBytes(t, raw, z, KeySpec{})) {
+		t.Error("multi-level merge output differs from the reference sort")
+	}
+}
+
+// TestWithMaxMemoryForcesRuns caps the run size below an otherwise
+// plannable n: the sort must take the hierarchical path and still produce
+// the reference output.
+func TestWithMaxMemoryForcesRuns(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	const p, mem, z = 2, 256, 16
+	s, err := New(Config{Procs: p, MemPerProc: mem, RecordSize: z})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2048 // within the threaded bound for this config
+	if _, err := s.Plan(Threaded, n); err != nil {
+		t.Fatalf("n=%d should be single-run plannable: %v", n, err)
+	}
+	raw := genRaw(n, z, record.Dup{Seed: 4})
+	var out bytes.Buffer
+	res, err := s.Sort(context.Background(), FromBytes(raw), ToWriter(&out),
+		WithAlgorithm(Threaded), WithMaxMemory(int64(n/4)*z))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if res.Merge == nil || res.Merge.Runs != 4 {
+		t.Fatalf("WithMaxMemory did not force run formation: %+v", res.Merge)
+	}
+	if !bytes.Equal(out.Bytes(), refSortBytes(t, raw, z, KeySpec{})) {
+		t.Error("memory-capped output differs from the reference sort")
+	}
+}
+
+// TestHierarchicalRequiresSink pins the contract that an above-bound sort
+// cannot run with a nil Sink — the merged output exists only as a stream.
+func TestHierarchicalRequiresSink(t *testing.T) {
+	const p, mem, z = 4, 256, 16
+	s, err := New(Config{Procs: p, MemPerProc: mem, RecordSize: z})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 3 * s.MaxRecords(Threaded)
+	_, err = s.Sort(context.Background(), Generate(record.Uniform{Seed: 1}, n), nil)
+	if err == nil {
+		t.Fatal("above-bound sort with nil Sink succeeded")
+	}
+	if !strings.Contains(err.Error(), "Sink") {
+		t.Errorf("error %q does not explain the Sink requirement", err)
+	}
+	// Legacy callers branch on the sentinel: the nil-Sink failure is still
+	// fundamentally "n exceeds the bound" and must keep matching it.
+	if !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want errors.Is(err, ErrTooLarge)", err)
+	}
+}
+
+// TestHierarchicalProgress pins the new progress families: engine events
+// tagged with Batch/Batches in order, then merge events with monotone
+// MergedRecords ending at n.
+func TestHierarchicalProgress(t *testing.T) {
+	const p, mem, z = 4, 256, 16
+	s, err := New(Config{Procs: p, MemPerProc: mem, RecordSize: z})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := s.MaxRecords(Threaded)
+	n := 3 * bound
+	var batchSeen []int
+	var merged []int64
+	res, err := s.Sort(context.Background(), Generate(record.Uniform{Seed: 2}, n), Discard(),
+		WithProgress(func(ev Progress) {
+			if ev.Pass > 0 {
+				if ev.Batches != 3 {
+					t.Errorf("engine event with Batches = %d, want 3", ev.Batches)
+				}
+				if len(batchSeen) == 0 || batchSeen[len(batchSeen)-1] != ev.Batch {
+					batchSeen = append(batchSeen, ev.Batch)
+				}
+			} else {
+				if ev.TotalRecords != n {
+					t.Errorf("merge event TotalRecords = %d, want %d", ev.TotalRecords, n)
+				}
+				merged = append(merged, ev.MergedRecords)
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if want := []int{1, 2, 3}; len(batchSeen) != 3 || batchSeen[0] != 1 || batchSeen[2] != 3 {
+		t.Errorf("batch sequence %v, want %v", batchSeen, want)
+	}
+	if len(merged) == 0 || merged[len(merged)-1] != n {
+		t.Errorf("merge progress %v does not end at %d", merged, n)
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i] < merged[i-1] {
+			t.Errorf("merge progress not monotone: %v", merged)
+		}
+	}
+}
+
+// TestPlanHierarchical pins the planning API against what Sort actually
+// executes: same run plan, same batch count.
+func TestPlanHierarchical(t *testing.T) {
+	const p, mem, z = 4, 256, 16
+	s, err := New(Config{Procs: p, MemPerProc: mem, RecordSize: z})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := s.MaxRecords(Threaded)
+	n := 3*bound + 7
+	runPl, batches, err := s.PlanHierarchical(Threaded, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runPl.N != bound {
+		t.Errorf("planned run of %d records, want the bound %d", runPl.N, bound)
+	}
+	if batches != 4 {
+		t.Errorf("planned %d batches, want 4", batches)
+	}
+	res, err := s.Sort(context.Background(), Generate(record.Uniform{Seed: 3}, n), Discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if int64(res.Merge.Runs) != int64(batches) || res.Merge.RunRecords != runPl.N {
+		t.Errorf("Sort executed %d runs × %d, PlanHierarchical said %d × %d",
+			res.Merge.Runs, res.Merge.RunRecords, batches, runPl.N)
+	}
+	// The capped form must agree with WithMaxMemory's batch sizing.
+	if _, capped, err := s.PlanHierarchical(Threaded, 2048, 1024*z); err != nil || capped != 2 {
+		t.Errorf("capped plan = %d batches (%v), want 2", capped, err)
+	}
+	if _, _, err := s.PlanHierarchical(Threaded, n, 1); err == nil {
+		t.Error("a 1-byte run cap planned successfully")
+	}
+}
+
+// TestHierarchicalOptionValidation covers the new options' error paths.
+func TestHierarchicalOptionValidation(t *testing.T) {
+	s, err := New(Config{Procs: 2, MemPerProc: 256, RecordSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := Generate(record.Uniform{Seed: 1}, 1024)
+	if _, err := s.Sort(context.Background(), src, nil, WithMergeFanIn(1)); err == nil {
+		t.Error("WithMergeFanIn(1) accepted")
+	}
+	if _, err := s.Sort(context.Background(), src, nil, WithMaxMemory(-5)); err == nil {
+		t.Error("WithMaxMemory(-5) accepted")
+	}
+	// A cap too small for even one column must fail with an explanation.
+	if _, err := s.Sort(context.Background(), src, Discard(), WithMaxMemory(16)); err == nil ||
+		!strings.Contains(err.Error(), "WithMaxMemory") {
+		t.Errorf("tiny cap error = %v, want a WithMaxMemory explanation", err)
+	}
+}

@@ -45,11 +45,23 @@ func (res *Result) TotalCounters() sim.Counters {
 // pass starting and Round == Rounds the pass complete. Events are emitted by
 // rank 0 only (one processor's view; the passes are bulk-synchronous, so it
 // is representative).
+//
+// Hierarchical (above-bound) sorts add two event families on top: engine
+// events carry the run-formation batch they belong to in Batch/Batches
+// (both 0 for single-run sorts), and the final k-way merge emits events
+// with Pass == 0 whose MergedRecords/TotalRecords report the position of
+// the merged output stream.
 type Progress struct {
-	Pass   int // 1-based index of the pass the event belongs to
+	Pass   int // 1-based index of the pass the event belongs to; 0 for merge events
 	Passes int // total passes of the algorithm
 	Round  int // rounds completed by rank 0 within this pass
 	Rounds int // rounds per processor per pass
+
+	Batch   int // 1-based run-formation batch (hierarchical sorts only)
+	Batches int // total run-formation batches (hierarchical sorts only)
+
+	MergedRecords int64 // records emitted by the merge so far (merge events)
+	TotalRecords  int64 // total records the merge will emit (merge events)
 }
 
 // Hooks customizes a run. The zero value disables every hook.
@@ -90,21 +102,13 @@ func passTagWindow(pl Plan) int {
 // satisfying errors.Is(err, ctx.Err()) once the last goroutine has exited —
 // cancellation never leaks goroutines, disk workers or scratch files.
 func Run(ctx context.Context, pl Plan, m pdm.Machine, input *pdm.Store, hooks Hooks) (*Result, error) {
-	if input.R != pl.R || input.S != pl.S || input.RecSize != pl.Z ||
-		input.P != pl.P || input.Layout != pl.Layout ||
-		(pl.Layout == pdm.GroupBlocked && input.G != pl.Group) {
-		return nil, fmt.Errorf("core: input store %d×%d z=%d P=%d %v does not match plan %s",
-			input.R, input.S, input.RecSize, input.P, input.Layout, pl)
-	}
-	if m.P != pl.P || m.D != pl.D {
-		return nil, fmt.Errorf("core: machine P=%d D=%d does not match plan P=%d D=%d", m.P, m.D, pl.P, pl.D)
+	if err := checkRunInput(pl, m, input); err != nil {
+		return nil, err
 	}
 	passes, err := passList(pl)
 	if err != nil {
 		return nil, err
 	}
-
-	res := &Result{Plan: pl}
 	// One buffer pool per processor, persisting across passes (and across
 	// runs, when the machine carries them): buffers allocated in pass 1
 	// serve every later pass's — and every later sort's — pipeline rounds.
@@ -112,80 +116,123 @@ func Run(ctx context.Context, pl Plan, m pdm.Machine, input *pdm.Store, hooks Ho
 	if pools == nil {
 		pools = record.NewPools(pl.P)
 	}
-	// All passes share ONE cluster fabric (goroutine processors live for
-	// the whole run, as the paper's MPI processes do), separated by
-	// barriers and disjoint tag windows. Rank 0 creates each pass's output
-	// store just before the pass (the pre-pass barrier publishes it) and
-	// releases each consumed intermediate as soon as the post-pass barrier
-	// confirms the pass is globally complete, so at most three stores are
-	// ever open — file-backed machines would otherwise hold every pass's
-	// disk files at once.
-	stores := make([]*pdm.Store, len(passes)+1)
-	stores[0] = input
-	cnts := make([][]sim.Counters, len(passes))
-	for k := range cnts {
-		cnts[k] = make([]sim.Counters, pl.P)
-	}
-	window := passTagWindow(pl)
-	rounds := pl.Rounds()
-	var failedPass atomic.Int64
-	failedPass.Store(-1)
-	var storeErr error
+	job := newPassJob(pl, input, hooks, len(passes), 0)
 	err = cluster.RunCtx(ctx, pl.P, func(pr *cluster.Proc) error {
-		for k, pass := range passes {
-			// A cancellation between passes is caught here even when the
-			// pass itself performs no communication (the baselines).
-			if err := ctx.Err(); err != nil {
-				failedPass.CompareAndSwap(-1, int64(k))
-				return err
-			}
-			if pr.Rank() == 0 {
-				stores[k+1], storeErr = pl.NewStore(m)
-			}
-			if err := pr.Barrier(); err != nil { // publishes stores[k+1]
-				return err
-			}
-			if storeErr != nil {
-				failedPass.CompareAndSwap(-1, int64(k))
-				return storeErr
-			}
-			var onRound func()
-			if hooks.Progress != nil && pr.Rank() == 0 {
-				hooks.Progress(Progress{Pass: k + 1, Passes: len(passes), Round: 0, Rounds: rounds})
-				done := 0
-				onRound = func() {
-					done++
-					hooks.Progress(Progress{Pass: k + 1, Passes: len(passes), Round: done, Rounds: rounds})
-				}
-			}
-			if err := pass(pr, stores[k], stores[k+1], k*window, pools[pr.Rank()], &cnts[k][pr.Rank()], onRound); err != nil {
-				failedPass.CompareAndSwap(-1, int64(k))
-				return err
-			}
-			if err := pr.Barrier(); err != nil {
-				return err
-			}
-			if pr.Rank() == 0 && k > 0 {
-				stores[k].Close() // consumed intermediate; never the input
-			}
-		}
-		return nil
+		return runPasses(ctx, pr, pl, m, passes, pools, passTagWindow(pl), job)
 	})
 	if err != nil {
-		for _, st := range stores[1:] {
-			if st != nil {
-				st.Close() // Close is idempotent; nil = pass never reached
+		return nil, job.fail(pl, err)
+	}
+	return &Result{Plan: pl, PassCounters: job.cnts, Output: job.stores[len(passes)]}, nil
+}
+
+// checkRunInput validates the input store and machine against the plan.
+func checkRunInput(pl Plan, m pdm.Machine, input *pdm.Store) error {
+	if input.R != pl.R || input.S != pl.S || input.RecSize != pl.Z ||
+		input.P != pl.P || input.Layout != pl.Layout ||
+		(pl.Layout == pdm.GroupBlocked && input.G != pl.Group) {
+		return fmt.Errorf("core: input store %d×%d z=%d P=%d %v does not match plan %s",
+			input.R, input.S, input.RecSize, input.P, input.Layout, pl)
+	}
+	if m.P != pl.P || m.D != pl.D {
+		return fmt.Errorf("core: machine P=%d D=%d does not match plan P=%d D=%d", m.P, m.D, pl.P, pl.D)
+	}
+	return nil
+}
+
+// passJob is the shared state of ONE engine execution on a cluster fabric:
+// the input, the store chain, the per-pass counters and the hooks. Run
+// executes a single job on a fresh fabric; a BatchRunner executes a stream
+// of jobs on a persistent one (the hierarchical sort's run-formation loop).
+type passJob struct {
+	input      *pdm.Store
+	hooks      Hooks
+	tagBase    int // start of this job's tag space on the shared fabric
+	stores     []*pdm.Store
+	cnts       [][]sim.Counters
+	storeErr   error
+	failedPass atomic.Int64
+}
+
+func newPassJob(pl Plan, input *pdm.Store, hooks Hooks, nPasses, tagBase int) *passJob {
+	j := &passJob{input: input, hooks: hooks, tagBase: tagBase}
+	j.stores = make([]*pdm.Store, nPasses+1)
+	j.stores[0] = input
+	j.cnts = make([][]sim.Counters, nPasses)
+	for k := range j.cnts {
+		j.cnts[k] = make([]sim.Counters, pl.P)
+	}
+	j.failedPass.Store(-1)
+	return j
+}
+
+// fail releases the job's stores (idempotently; the input is never touched)
+// and attributes the error to the pass that raised it. Call only after every
+// fabric goroutine has exited.
+func (j *passJob) fail(pl Plan, err error) error {
+	for _, st := range j.stores[1:] {
+		if st != nil {
+			st.Close() // Close is idempotent; nil = pass never reached
+		}
+	}
+	k := j.failedPass.Load()
+	if k < 0 {
+		k = 0
+	}
+	return fmt.Errorf("core: pass %d of %v: %w", k+1, pl.Alg, err)
+}
+
+// runPasses executes the planned pass sequence for one rank. All passes
+// share the ONE cluster fabric the caller runs on (goroutine processors
+// live for the whole run, as the paper's MPI processes do), separated by
+// barriers and disjoint tag windows. Rank 0 creates each pass's output
+// store just before the pass (the pre-pass barrier publishes it) and
+// releases each consumed intermediate as soon as the post-pass barrier
+// confirms the pass is globally complete, so at most three stores are ever
+// open — file-backed machines would otherwise hold every pass's disk files
+// at once.
+func runPasses(ctx context.Context, pr *cluster.Proc, pl Plan, m pdm.Machine, passes []passFunc, pools []*record.Pool, window int, job *passJob) error {
+	rounds := pl.Rounds()
+	for k, pass := range passes {
+		// A cancellation between passes is caught here even when the
+		// pass itself performs no communication (the baselines).
+		if err := ctx.Err(); err != nil {
+			job.failedPass.CompareAndSwap(-1, int64(k))
+			return err
+		}
+		if pr.Rank() == 0 {
+			job.stores[k+1], job.storeErr = pl.NewStore(m)
+		}
+		if err := pr.Barrier(); err != nil { // publishes stores[k+1]
+			return err
+		}
+		if job.storeErr != nil {
+			job.failedPass.CompareAndSwap(-1, int64(k))
+			return job.storeErr
+		}
+		var onRound func()
+		if job.hooks.Progress != nil && pr.Rank() == 0 {
+			job.hooks.Progress(Progress{Pass: k + 1, Passes: len(passes), Round: 0, Rounds: rounds})
+			done := 0
+			hooks := job.hooks
+			kk := k
+			onRound = func() {
+				done++
+				hooks.Progress(Progress{Pass: kk + 1, Passes: len(passes), Round: done, Rounds: rounds})
 			}
 		}
-		k := failedPass.Load()
-		if k < 0 {
-			k = 0
+		if err := pass(pr, job.stores[k], job.stores[k+1], job.tagBase+k*window, pools[pr.Rank()], &job.cnts[k][pr.Rank()], onRound); err != nil {
+			job.failedPass.CompareAndSwap(-1, int64(k))
+			return err
 		}
-		return nil, fmt.Errorf("core: pass %d of %v: %w", k+1, pl.Alg, err)
+		if err := pr.Barrier(); err != nil {
+			return err
+		}
+		if pr.Rank() == 0 && k > 0 {
+			job.stores[k].Close() // consumed intermediate; never the input
+		}
 	}
-	res.PassCounters = cnts
-	res.Output = stores[len(passes)]
-	return res, nil
+	return nil
 }
 
 // passList builds the pass sequence realizing the planned algorithm.

@@ -1,0 +1,281 @@
+package merge
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"colsort/internal/pdm"
+	"colsort/internal/record"
+)
+
+// ErrOrder reports a merge input that was not actually sorted — streaming
+// verification caught a record smaller than its predecessor in the output.
+var ErrOrder = errors.New("merge: output order violated (corrupt run)")
+
+// Options tunes one merge.
+type Options struct {
+	// ChunkRecs is the records per emitted chunk and per run-read chunk
+	// (< 1 selects DefaultChunkRecs). Peak merge memory is roughly
+	// (k + emitDepth + 1) · ChunkRecs · recSize bytes for k runs.
+	ChunkRecs int
+	// Progress, when non-nil, receives the cumulative emitted record count
+	// after each chunk. Called from the merge goroutine, sequentially.
+	Progress func(merged int64)
+}
+
+// DefaultChunkRecs is the chunk size used when Options does not set one.
+const DefaultChunkRecs = 1 << 12
+
+// emitDepth is the write-behind depth of the emit stage: chunks in flight
+// between the merge loop and the consumer.
+const emitDepth = 3
+
+// Stats reports what one merge moved.
+type Stats struct {
+	Records      int64 // records emitted
+	BytesRead    int64 // bytes loaded from the input runs
+	BytesWritten int64 // bytes handed to emit
+}
+
+// Merge combines the sorted runs into one sorted stream, calling emit with
+// successive chunks of records in total order. The records flow straight
+// from the run disks to emit — nothing is materialized — and emit runs on a
+// background goroutine (write-behind on the merged output), overlapping the
+// sink's own I/O with the merge's compare/copy work and the runs' prefetch.
+//
+// The stream is verified as it flows: every emitted record is checked
+// against its predecessor (ErrOrder on violation — a corrupt run can never
+// produce a silently unsorted output) and the returned Checksum fingerprints
+// the emitted multiset for the caller to compare against its ingest
+// checksum. Ties between runs break by run index, so a merge is
+// deterministic for any input.
+//
+// Cancelling ctx aborts between chunks; the emit goroutine is always joined
+// before Merge returns, whatever the outcome, so no goroutine outlives the
+// call. Chunk buffers are recycled internally; emit must not retain its
+// argument past return.
+func Merge(ctx context.Context, runs []*Run, emit func(record.Slice) error, opt Options) (record.Checksum, Stats, error) {
+	var cs record.Checksum
+	var st Stats
+	if len(runs) == 0 {
+		return cs, st, nil
+	}
+	z := runs[0].RecSize
+	for i, r := range runs {
+		if r.RecSize != z {
+			return cs, st, fmt.Errorf("merge: run %d has %d-byte records, run 0 has %d", i, r.RecSize, z)
+		}
+	}
+	chunkRecs := opt.ChunkRecs
+	if chunkRecs < 1 {
+		chunkRecs = DefaultChunkRecs
+	}
+
+	readers := make([]*Reader, len(runs))
+	for i, r := range runs {
+		readers[i] = NewReader(r, chunkRecs)
+	}
+	for _, rd := range readers {
+		if err := rd.Prime(); err != nil {
+			return cs, st, err
+		}
+	}
+	var t tree
+	t.init(readers)
+
+	// Emit write-behind: the worker drains full chunks and recycles the
+	// buffers; after its first error it stops calling emit but keeps
+	// recycling, so the merge loop can never deadlock on a dead sink.
+	full := make(chan record.Slice, emitDepth)
+	free := make(chan record.Slice, emitDepth)
+	for i := 0; i < emitDepth; i++ {
+		free <- record.Make(chunkRecs, z)
+	}
+	var emitMu sync.Mutex
+	var emitErr error
+	var done sync.WaitGroup
+	done.Add(1)
+	go func() {
+		defer done.Done()
+		for c := range full {
+			emitMu.Lock()
+			failed := emitErr != nil
+			emitMu.Unlock()
+			if !failed {
+				if err := emit(c); err != nil {
+					emitMu.Lock()
+					emitErr = err
+					emitMu.Unlock()
+				}
+			}
+			free <- c.Sub(0, chunkRecs)
+		}
+	}()
+	finish := func(err error) (record.Checksum, Stats, error) {
+		close(full)
+		done.Wait()
+		for _, rd := range readers {
+			st.BytesRead += rd.BytesRead()
+		}
+		if err == nil {
+			emitMu.Lock()
+			err = emitErr
+			emitMu.Unlock()
+		}
+		return cs, st, err
+	}
+
+	prev := make([]byte, z) // last emitted record, for the order check
+	havePrev := false
+	var total int64
+	for _, r := range runs {
+		total += r.Records
+	}
+	for st.Records < total {
+		if err := ctx.Err(); err != nil {
+			return finish(err)
+		}
+		emitMu.Lock()
+		failed := emitErr != nil
+		emitMu.Unlock()
+		if failed {
+			return finish(nil) // finish surfaces emitErr
+		}
+		buf := <-free
+		want := chunkRecs
+		if left := total - st.Records; left < int64(want) {
+			want = int(left)
+		}
+		out := buf.Sub(0, want)
+		for i := 0; i < want; i++ {
+			rec := t.winner()
+			if rec == nil {
+				return finish(fmt.Errorf("merge: runs exhausted after %d of %d records (inconsistent run lengths)", st.Records+int64(i), total))
+			}
+			if havePrev && bytes.Compare(rec, prev) < 0 {
+				return finish(fmt.Errorf("%w at record %d", ErrOrder, st.Records+int64(i)))
+			}
+			copy(prev, rec)
+			havePrev = true
+			cs.Add(rec)
+			copy(out.Record(i), rec)
+			if err := t.pop(); err != nil {
+				return finish(err)
+			}
+		}
+		st.Records += int64(want)
+		st.BytesWritten += int64(want * z)
+		full <- out
+		if opt.Progress != nil {
+			opt.Progress(st.Records)
+		}
+	}
+	return finish(nil)
+}
+
+// MergeToRun merges runs into a new run on disk d — one node of a
+// multi-level merge tree. On success the returned Run owns d; on error the
+// caller still owns d.
+func MergeToRun(ctx context.Context, runs []*Run, d pdm.Disk, opt Options) (*Run, Stats, error) {
+	if len(runs) == 0 {
+		return nil, Stats{}, fmt.Errorf("merge: no runs to merge")
+	}
+	chunkRecs := opt.ChunkRecs
+	if chunkRecs < 1 {
+		chunkRecs = DefaultChunkRecs
+	}
+	w := NewWriter(d, runs[0].RecSize, chunkRecs)
+	_, st, err := Merge(ctx, runs, w.Append, opt)
+	if err != nil {
+		return nil, st, err
+	}
+	out, err := w.Finish()
+	return out, st, err
+}
+
+// tree is a tournament (loser) tree over the runs' readers: node[0] holds
+// the current overall winner and every internal node the loser of its
+// match, so replacing the winner costs ⌈log₂ k⌉ comparisons — the same
+// structure sortalg uses in-memory, re-derived here over streaming readers.
+// The leaf count is padded to a power of two with permanently exhausted
+// dummies. Ties break on run index for determinism.
+type tree struct {
+	readers []*Reader
+	node    []int
+	k       int
+}
+
+func (t *tree) init(readers []*Reader) {
+	t.readers = readers
+	t.k = 1
+	for t.k < len(readers) {
+		t.k *= 2
+	}
+	t.node = make([]int, t.k)
+	t.node[0] = t.play(1)
+}
+
+func (t *tree) play(i int) int {
+	if i >= t.k {
+		r := i - t.k
+		if r >= len(t.readers) {
+			return -1
+		}
+		return r
+	}
+	wl, wr := t.play(2*i), t.play(2*i+1)
+	if t.beats(wl, wr) {
+		t.node[i] = wr
+		return wl
+	}
+	t.node[i] = wl
+	return wr
+}
+
+func (t *tree) cur(r int) []byte {
+	if r < 0 {
+		return nil
+	}
+	return t.readers[r].Cur()
+}
+
+func (t *tree) beats(a, b int) bool {
+	ra, rb := t.cur(a), t.cur(b)
+	switch {
+	case ra == nil:
+		return false
+	case rb == nil:
+		return true
+	}
+	// Record order is plain lexicographic byte order: the engine's key is
+	// the first 8 bytes big-endian with payload tie-break, which coincides
+	// with bytes.Compare over the whole record.
+	c := bytes.Compare(ra, rb)
+	if c != 0 {
+		return c < 0
+	}
+	return a < b
+}
+
+// winner returns the current smallest record, or nil when all runs are
+// exhausted.
+func (t *tree) winner() []byte { return t.cur(t.node[0]) }
+
+// pop advances the winning run and replays its path to the root.
+func (t *tree) pop() error {
+	w := t.node[0]
+	if err := t.readers[w].Advance(); err != nil {
+		return fmt.Errorf("merge: run %d: %w", w, err)
+	}
+	winner := w
+	for i := (w + t.k) / 2; i > 0; i /= 2 {
+		if t.beats(t.node[i], winner) {
+			t.node[i], winner = winner, t.node[i]
+		}
+	}
+	t.node[0] = winner
+	return nil
+}

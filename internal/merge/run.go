@@ -1,0 +1,211 @@
+// Package merge implements the hierarchical execution layer that lifts the
+// library past any single columnsort run's problem-size bound: bounded
+// sorted RUNS (each produced by one engine execution) spilled onto simulated
+// disks, then combined by a loser-tree k-way streaming merge with overlapped
+// I/O — the classic external-sort structure (run formation + multiway merge)
+// engineered on top of the paper's algorithms.
+//
+// A Run lives on ONE pdm.Disk as a flat sequence of fixed-size records in
+// sorted order. Writers buffer records into large sequential WriteAt calls
+// (which an AsyncDisk retires in the background — write-behind); Readers
+// stream chunks back, hinting each next chunk to the disk's Prefetcher one
+// step ahead of consumption, so the merge's compare/copy work overlaps every
+// run's disk service time — the multi-run prefetch schedule is simply
+// one-ahead per run, k-wide.
+package merge
+
+import (
+	"fmt"
+
+	"colsort/internal/pdm"
+	"colsort/internal/record"
+)
+
+// Run is a finished sorted run: Records records of RecSize bytes, stored
+// contiguously from offset 0 of Disk. The Run owns the disk; Close releases
+// it (removing a file-backed spill).
+type Run struct {
+	Disk    pdm.Disk
+	RecSize int
+	Records int64
+}
+
+// Bytes returns the run's payload size.
+func (r *Run) Bytes() int64 { return r.Records * int64(r.RecSize) }
+
+// Close releases the backing disk.
+func (r *Run) Close() error {
+	if r.Disk == nil {
+		return nil
+	}
+	err := r.Disk.Close()
+	r.Disk = nil
+	return err
+}
+
+// Writer appends records sequentially onto a disk, coalescing them into
+// chunkRecs-record WriteAt calls so the disk sees large sequential writes
+// (and an async disk overlaps them with the producer). The caller owns the
+// disk until Finish succeeds, after which the returned Run does.
+type Writer struct {
+	d       pdm.Disk
+	recSize int
+	buf     []byte
+	used    int
+	off     int64
+	records int64
+}
+
+// NewWriter starts a run of recSize-byte records on d, buffering chunkRecs
+// records per write.
+func NewWriter(d pdm.Disk, recSize, chunkRecs int) *Writer {
+	if chunkRecs < 1 {
+		chunkRecs = 1
+	}
+	return &Writer{d: d, recSize: recSize, buf: make([]byte, chunkRecs*recSize)}
+}
+
+// Append adds the records of recs to the run.
+func (w *Writer) Append(recs record.Slice) error {
+	if recs.Size != w.recSize {
+		return fmt.Errorf("merge: appending %d-byte records to a %d-byte run", recs.Size, w.recSize)
+	}
+	data := recs.Data
+	for len(data) > 0 {
+		n := copy(w.buf[w.used:], data)
+		w.used += n
+		data = data[n:]
+		if w.used == len(w.buf) {
+			if err := w.flush(); err != nil {
+				return err
+			}
+		}
+	}
+	w.records += int64(recs.Len())
+	return nil
+}
+
+func (w *Writer) flush() error {
+	if w.used == 0 {
+		return nil
+	}
+	if err := w.d.WriteAt(w.buf[:w.used], w.off); err != nil {
+		return fmt.Errorf("merge: write run: %w", err)
+	}
+	w.off += int64(w.used)
+	w.used = 0
+	return nil
+}
+
+// Finish flushes the tail, drains any write-behind queue, and returns the
+// completed Run (which now owns the disk). On error the caller still owns
+// the disk and must close it.
+func (w *Writer) Finish() (*Run, error) {
+	if err := w.flush(); err != nil {
+		return nil, err
+	}
+	if fl, ok := w.d.(pdm.Flusher); ok {
+		if err := fl.Flush(); err != nil {
+			return nil, fmt.Errorf("merge: flush run: %w", err)
+		}
+	}
+	return &Run{Disk: w.d, RecSize: w.recSize, Records: w.records}, nil
+}
+
+// Reader streams a run's records in order. Each chunk load hints the NEXT
+// chunk (exact offset and length) to the disk's Prefetcher, so on
+// async-backed disks the blocking ReadAt of chunk i executes while chunk
+// i+1 is being staged — and across the k readers of a merge, k fetches are
+// in flight at once.
+type Reader struct {
+	run       *Run
+	chunk     []byte
+	cur       []byte // current chunk's live bytes
+	pos       int    // byte position of the current record within cur
+	off       int64  // disk offset of the next chunk to load
+	bytesLeft int64  // unread bytes beyond cur
+	bytesRead int64  // total bytes loaded (stats)
+	primed    bool
+}
+
+// NewReader opens a sequential reader over run, loading chunkRecs records
+// per disk read.
+func NewReader(run *Run, chunkRecs int) *Reader {
+	if chunkRecs < 1 {
+		chunkRecs = 1
+	}
+	return &Reader{
+		run:       run,
+		chunk:     make([]byte, chunkRecs*run.RecSize),
+		bytesLeft: run.Bytes(),
+	}
+}
+
+// nextExtent returns the offset and length of the next chunk to load.
+func (r *Reader) nextExtent() (int64, int) {
+	n := int64(len(r.chunk))
+	if n > r.bytesLeft {
+		n = r.bytesLeft
+	}
+	return r.off, int(n)
+}
+
+// load reads the next chunk and hints the one after it.
+func (r *Reader) load() error {
+	off, n := r.nextExtent()
+	if n == 0 {
+		r.cur = nil
+		return nil
+	}
+	buf := r.chunk[:n]
+	if err := r.run.Disk.ReadAt(buf, off); err != nil {
+		return fmt.Errorf("merge: read run: %w", err)
+	}
+	r.off = off + int64(n)
+	r.bytesLeft -= int64(n)
+	r.bytesRead += int64(n)
+	r.cur, r.pos = buf, 0
+	if p, ok := r.run.Disk.(pdm.Prefetcher); ok {
+		if noff, nn := r.nextExtent(); nn > 0 {
+			p.Prefetch(noff, nn)
+		}
+	}
+	return nil
+}
+
+// Cur returns the current record's bytes, or nil when the run is exhausted.
+// The first call loads (and starts prefetching) the run.
+func (r *Reader) Cur() []byte {
+	if r.pos >= len(r.cur) {
+		return nil
+	}
+	return r.cur[r.pos : r.pos+r.run.RecSize]
+}
+
+// Prime loads the first chunk and hints the second; it must be called once
+// before Cur/Advance.
+func (r *Reader) Prime() error {
+	if r.primed {
+		return nil
+	}
+	r.primed = true
+	if p, ok := r.run.Disk.(pdm.Prefetcher); ok {
+		if off, n := r.nextExtent(); n > 0 {
+			p.Prefetch(off, n)
+		}
+	}
+	return r.load()
+}
+
+// Advance moves past the current record, loading the next chunk when the
+// current one is consumed.
+func (r *Reader) Advance() error {
+	r.pos += r.run.RecSize
+	if r.pos >= len(r.cur) && r.bytesLeft > 0 {
+		return r.load()
+	}
+	return nil
+}
+
+// BytesRead returns the bytes loaded so far (stats).
+func (r *Reader) BytesRead() int64 { return r.bytesRead }

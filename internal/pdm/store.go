@@ -307,6 +307,31 @@ func (m Machine) NewArrays() ([]*DiskArray, error) {
 	return arrays, nil
 }
 
+// NewSpillDisk builds one standalone disk on the machine's backend — the
+// backing of a hierarchical-merge run — wrapped with the machine's delay and
+// async layers exactly as the array disks are, so run reads follow prefetch
+// hints and run writes retire in the background whenever the machine's
+// stores do. idx only names the backing file; the backend's generation
+// suffix keeps concurrent spills distinct. The caller owns Close (which
+// removes a file-backed spill).
+func (m Machine) NewSpillDisk(idx int) (Disk, error) {
+	backend := m.Backend
+	if backend == nil {
+		backend = MemBackend{}
+	}
+	d, err := backend.NewDisk(idx)
+	if err != nil {
+		return nil, err
+	}
+	if m.Delay != nil {
+		d = NewDelayDisk(d, *m.Delay)
+	}
+	if m.Async != nil {
+		d = NewAsyncDisk(d, *m.Async)
+	}
+	return d, nil
+}
+
 // NewStore allocates a fresh store for an r×s matrix on new arrays.
 func (m Machine) NewStore(r, s, recSize int, layout Layout) (*Store, error) {
 	arrays, err := m.NewArrays()

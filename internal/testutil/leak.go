@@ -1,0 +1,70 @@
+// Package testutil holds the shared test harness of the async, cancel and
+// merge tests: a goroutine / scratch-file leak checker that replaces the
+// ad-hoc copies the integration tests used to carry individually.
+package testutil
+
+import (
+	"io/fs"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakGrace is how long a cleanup waits for exiting goroutines to finish
+// unwinding before declaring a leak: teardown paths (cluster abort, async
+// disk Close) complete their last few goroutine exits just after the API
+// call returns.
+const leakGrace = 5 * time.Second
+
+// CheckGoroutines snapshots the live goroutine count and registers a
+// cleanup that fails the test if, after a grace period, more goroutines
+// remain than existed at the call. Register it BEFORE creating the
+// resources under test (sorters, async disks, merges).
+func CheckGoroutines(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		n := runtime.NumGoroutine()
+		deadline := time.Now().Add(leakGrace)
+		for n > before && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			n = runtime.NumGoroutine()
+		}
+		if n > before {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Errorf("goroutine leak: %d live at cleanup, %d at start\n%s", n, before, buf)
+		}
+	})
+}
+
+// CheckScratchDir registers a cleanup that fails the test if any regular
+// file remains under dir — every scratch file (FileDisk backings, spilled
+// runs) must have been removed by the paths under test.
+func CheckScratchDir(t testing.TB, dir string) {
+	t.Helper()
+	t.Cleanup(func() {
+		var stray []string
+		_ = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err == nil && !d.IsDir() {
+				stray = append(stray, path)
+			}
+			return nil
+		})
+		if len(stray) != 0 {
+			t.Errorf("scratch files leaked under %s: %v", dir, stray)
+		}
+	})
+}
+
+// CheckLeaks combines CheckGoroutines and, when dir is non-empty,
+// CheckScratchDir. Call it at the top of any test that runs async disks,
+// cancellation paths, or merges.
+func CheckLeaks(t testing.TB, dir string) {
+	t.Helper()
+	CheckGoroutines(t)
+	if dir != "" {
+		CheckScratchDir(t, dir)
+	}
+}

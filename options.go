@@ -51,11 +51,13 @@ const (
 
 // sortOptions collects the functional options of one Sort call.
 type sortOptions struct {
-	alg      Algorithm
-	group    int // hybrid group size; 0 selects the non-hybrid alg
-	keySpec  KeySpec
-	padding  PaddingPolicy
-	progress func(Progress)
+	alg       Algorithm
+	group     int // hybrid group size; 0 selects the non-hybrid alg
+	keySpec   KeySpec
+	padding   PaddingPolicy
+	progress  func(Progress)
+	maxMemory int64 // bytes one run may hold; 0 = only the algorithm's bound
+	fanIn     int   // merge fan-in; 0 = defaultMergeFanIn
 }
 
 // Option customizes one Sort call; see the With* constructors.
@@ -86,6 +88,28 @@ func WithKeySpec(ks KeySpec) Option {
 // WithPadding sets the padding policy (default PadAuto).
 func WithPadding(p PaddingPolicy) Option {
 	return func(o *sortOptions) { o.padding = p }
+}
+
+// WithMaxMemory caps, in bytes, the records one columnsort run may hold.
+// A sort whose input exceeds the cap — or the selected algorithm's own
+// problem-size bound — transparently takes the hierarchical path: the
+// input is split into maximal bounded runs, each sorted by the engine on
+// one persistent cluster fabric, and the sorted runs are streamed through
+// a loser-tree k-way merge into the Sink (see WithMergeFanIn). 0 (the
+// default) leaves only the algorithm's bound in force. The hierarchical
+// path requires PadAuto, a non-hybrid algorithm, and a non-nil Sink.
+func WithMaxMemory(bytes int64) Option {
+	return func(o *sortOptions) { o.maxMemory = bytes }
+}
+
+// WithMergeFanIn sets the maximum number of sorted runs the hierarchical
+// merge combines at once (default 16, minimum 2). When run formation
+// produces more runs than the fan-in, intermediate merge levels reduce the
+// set until one final merge streams into the Sink. Larger fan-ins mean
+// fewer passes over the spilled data but more read streams (and prefetch
+// buffers) competing at once.
+func WithMergeFanIn(k int) Option {
+	return func(o *sortOptions) { o.fanIn = k }
 }
 
 // WithProgress registers a callback receiving pass/round completion events

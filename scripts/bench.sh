@@ -29,7 +29,7 @@ else
 	OUT="BENCH_$i.json"
 fi
 BENCHTIME="${BENCHTIME:-3x}"
-BENCH="${BENCH:-^(BenchmarkLocalSort|BenchmarkMergeRuns|BenchmarkE6InCore|BenchmarkFigure2|BenchmarkFigure2File)$}"
+BENCH="${BENCH:-^(BenchmarkLocalSort|BenchmarkMergeRuns|BenchmarkE6InCore|BenchmarkFigure2|BenchmarkFigure2File|BenchmarkMergeSortFile)$}"
 
 RAW=$(mktemp "${TMPDIR:-/tmp}/bench.XXXXXX")
 trap 'rm -f "$RAW"' EXIT INT TERM

@@ -11,8 +11,14 @@ import (
 
 // A Sink receives a Sort's output: the real records (padding excluded), in
 // global column-major sorted order, with any KeySpec normalization already
-// undone. Sort verifies the output (sortedness + multiset) before opening
-// the sink, so a failed sort never emits a plausible-looking result.
+// undone. Single-run sorts verify the output (sortedness + multiset)
+// BEFORE opening the sink, so a failed sort never emits a plausible-looking
+// result. Hierarchical (above-bound) sorts necessarily verify in-stream —
+// every run is verified before merging, the merged order is checked record
+// by record, and the multiset at end of stream — so bytes may reach the
+// sink before a late failure is detected: when Sort returns an error, the
+// sink's contents must be discarded. Implementations should therefore not
+// publish or commit their output before Sort itself returns nil.
 type Sink interface {
 	// Open prepares the sink for records of recSize bytes. Sort writes the
 	// whole output and then closes the writer exactly once.

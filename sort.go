@@ -25,6 +25,16 @@ import (
 // undone. A nil dst keeps the sorted data in Result.Output only, which
 // callers of the legacy entry points then verify and read themselves.
 //
+// Sort is unbounded in n: when the record count exceeds the selected
+// algorithm's problem-size bound (or a WithMaxMemory cap), the input is
+// transparently split into maximal bounded runs, each sorted by the engine
+// on one persistent cluster fabric, and the runs are combined by a
+// loser-tree k-way merge (WithMergeFanIn) streaming straight into dst with
+// prefetch on the run reads, write-behind on the output, and in-stream
+// verification — see Result.Merge and DESIGN.md §7. This path requires a
+// non-nil dst (the merged output only exists as a stream), the default
+// PadAuto policy, and a non-hybrid algorithm.
+//
 // Cancelling ctx (or exceeding its deadline) tears the run down: all P
 // processor goroutines, the pipeline stages between them and the
 // asynchronous disk workers unwind, write-behind queues drain, scratch
@@ -42,6 +52,12 @@ func (s *Sorter) Sort(ctx context.Context, src Source, dst Sink, opts ...Option)
 	if src == nil {
 		return nil, fmt.Errorf("colsort: nil Source")
 	}
+	if o.maxMemory < 0 {
+		return nil, fmt.Errorf("colsort: WithMaxMemory(%d): the cap must be ≥ 0", o.maxMemory)
+	}
+	if o.fanIn < 0 || o.fanIn == 1 {
+		return nil, fmt.Errorf("colsort: WithMergeFanIn(%d): the fan-in must be ≥ 2", o.fanIn)
+	}
 	codec, err := o.keySpec.Compile(s.cfg.RecordSize)
 	if err != nil {
 		return nil, fmt.Errorf("colsort: %w", err)
@@ -54,9 +70,17 @@ func (s *Sorter) Sort(ctx context.Context, src Source, dst Sink, opts ...Option)
 	if n < 1 {
 		return nil, fmt.Errorf("colsort: cannot sort %d records", n)
 	}
-	pl, err := s.planOpts(o, n)
-	if err != nil {
+	pl, plErr := s.planOpts(o, n)
+	// Beyond the single-run bound (or a WithMaxMemory cap): split into
+	// bounded runs and k-way merge them into the sink — the hierarchical
+	// path that makes Sort unbounded in n.
+	if hier, err := s.wantHierarchical(o, pl, plErr); err != nil {
 		return nil, err
+	} else if hier {
+		return s.sortHierarchical(ctx, rd, dst, o, codec, n)
+	}
+	if plErr != nil {
+		return nil, plErr
 	}
 
 	// An existing store of exactly the planned shape under the native key
@@ -188,17 +212,36 @@ func fillStore(ctx context.Context, st *pdm.Store, rd RecordReader, codec record
 // prefetched one step ahead, so an async-backed store overlaps the sink
 // writes with its disk service time.
 func (r *Result) drainTo(ctx context.Context, dst Sink) error {
-	st := r.Output
-	w, err := dst.Open(st.RecSize)
+	if r.Output == nil {
+		return fmt.Errorf("colsort: hierarchical result holds no output store: the sorted records were already streamed to the Sort call's Sink")
+	}
+	w, err := dst.Open(r.Output.RecSize)
 	if err != nil {
 		return err
 	}
+	err = scanRealPrefix(ctx, r.Output, r.RealRecords(), func(chunk record.Slice) error {
+		r.codec.Decode(chunk)
+		return w.Write(chunk)
+	})
+	if err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// scanRealPrefix streams the real (non-pad) prefix of a sorted store in
+// global column-major order, invoking emit with successive record chunks.
+// The pad tail is neither read nor prefetched (ErrStopScan), and each owned
+// segment is prefetched one step ahead by ScanSegments. Shared by the sink
+// egress (drainTo) and the hierarchical run spill (spillRun).
+func scanRealPrefix(ctx context.Context, st *pdm.Store, real int64, emit func(record.Slice) error) error {
 	var cnt sim.Counters
 	buf := record.Make(st.R, st.RecSize)
-	remaining := r.RealRecords()
-	err = st.ScanSegments(func(p, j, lo, hi int) error {
+	remaining := real
+	return st.ScanSegments(func(p, j, lo, hi int) error {
 		if remaining <= 0 {
-			return pdm.ErrStopScan // pad tail: neither read nor prefetched
+			return pdm.ErrStopScan
 		}
 		if err := ctx.Err(); err != nil {
 			return err
@@ -211,17 +254,10 @@ func (r *Result) drainTo(ctx context.Context, dst Sink) error {
 		if recs > remaining {
 			recs = remaining
 		}
-		out := chunk.Sub(0, int(recs))
-		r.codec.Decode(out)
-		if err := w.Write(out); err != nil {
+		if err := emit(chunk.Sub(0, int(recs))); err != nil {
 			return err
 		}
 		remaining -= recs
 		return nil
 	})
-	if err != nil {
-		w.Close()
-		return err
-	}
-	return w.Close()
 }

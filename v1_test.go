@@ -17,7 +17,6 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -26,6 +25,7 @@ import (
 
 	"colsort/internal/core"
 	"colsort/internal/record"
+	"colsort/internal/testutil"
 )
 
 // rawEngineRun executes the pre-v1 generated-input path — plan, fill via
@@ -272,14 +272,14 @@ func TestSortFromReader(t *testing.T) {
 // TestSortCancelTearsDown is the cancellation acceptance test: a mid-pass
 // cancel of a file-backed async run returns promptly with context.Canceled,
 // leaves no goroutines behind, and removes every scratch file under
-// Config.Dir.
+// Config.Dir (both pinned by the shared testutil leak checker).
 func TestSortCancelTearsDown(t *testing.T) {
 	dir := t.TempDir()
+	testutil.CheckLeaks(t, dir)
 	s, err := New(Config{Procs: 4, MemPerProc: 1 << 12, RecordSize: 32, Dir: dir, Async: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := runtime.NumGoroutine()
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -306,30 +306,6 @@ func TestSortCancelTearsDown(t *testing.T) {
 		t.Errorf("cancel took %v to return", elapsed)
 	}
 
-	// No scratch files: the input store, every intermediate and the
-	// would-be output must all have been closed (FileDisk.Close removes
-	// its backing file).
-	var stray []string
-	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
-		if err == nil && !info.IsDir() {
-			stray = append(stray, path)
-		}
-		return nil
-	})
-	if len(stray) != 0 {
-		t.Errorf("scratch files leaked after cancel: %v", stray)
-	}
-
-	// No goroutines: every processor, pipeline stage and async disk worker
-	// unwinds. Give the runtime a moment to finish exiting goroutines.
-	deadline := time.Now().Add(5 * time.Second)
-	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if g := runtime.NumGoroutine(); g > before {
-		t.Errorf("goroutines leaked after cancel: %d, started with %d", g, before)
-	}
-
 	// The sorter remains usable after a cancelled run.
 	ok, err := s.Sort(context.Background(), Generate(record.Uniform{Seed: 1}, 1<<12), nil)
 	if err != nil {
@@ -345,6 +321,7 @@ func TestSortCancelTearsDown(t *testing.T) {
 // context that dies while records are still streaming onto the disks.
 func TestSortCancelDuringIngest(t *testing.T) {
 	dir := t.TempDir()
+	testutil.CheckLeaks(t, dir)
 	s, err := New(Config{Procs: 4, MemPerProc: 1 << 12, RecordSize: 32, Dir: dir})
 	if err != nil {
 		t.Fatal(err)
@@ -353,16 +330,6 @@ func TestSortCancelDuringIngest(t *testing.T) {
 	cancel() // already dead: ingest must notice before the engine starts
 	if _, err := s.Sort(ctx, Generate(record.Uniform{Seed: 1}, 1<<15), nil); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
-	}
-	var stray []string
-	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
-		if err == nil && !info.IsDir() {
-			stray = append(stray, path)
-		}
-		return nil
-	})
-	if len(stray) != 0 {
-		t.Errorf("scratch files leaked after ingest cancel: %v", stray)
 	}
 }
 
