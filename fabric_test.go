@@ -1,0 +1,83 @@
+package colsort
+
+// WithFabric at the v1 surface: the copying (MPI-fidelity) interconnect
+// must be observationally identical to the default zero-copy one — same
+// output bytes, same counters — on both the single-run and the
+// hierarchical (runs + merge) paths.
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"colsort/internal/record"
+	"colsort/internal/sim"
+)
+
+func TestWithFabricEquivalentOutput(t *testing.T) {
+	const n, p, mem, z = 1 << 13, 4, 1 << 9, 32
+	outputs := make([][]byte, 2)
+	counters := make([]sim.Counters, 2)
+	for i, fabric := range []Fabric{FabricZeroCopy, FabricCopying} {
+		s := newSorter(t, p, mem, z)
+		var buf bytes.Buffer
+		res, err := s.Sort(context.Background(),
+			Generate(record.Uniform{Seed: 99}, n), ToWriter(&buf),
+			WithAlgorithm(Threaded), WithFabric(fabric))
+		if err != nil {
+			t.Fatalf("fabric %d: %v", fabric, err)
+		}
+		outputs[i] = append([]byte(nil), buf.Bytes()...)
+		counters[i] = res.TotalCounters()
+		res.Close()
+	}
+	if !bytes.Equal(outputs[0], outputs[1]) {
+		t.Fatal("copying fabric output differs from zero-copy")
+	}
+	if counters[0] != counters[1] {
+		t.Fatalf("counters differ:\nzero-copy: %+v\ncopying:   %+v", counters[0], counters[1])
+	}
+}
+
+func TestWithFabricHierarchical(t *testing.T) {
+	const p, mem, z = 2, 1 << 9, 32
+	probe := newSorter(t, p, mem, z)
+	n := 2 * probe.MaxRecords(Threaded)
+	dir := t.TempDir()
+	paths := make([]string, 2)
+	for i, fabric := range []Fabric{FabricZeroCopy, FabricCopying} {
+		s := newSorter(t, p, mem, z)
+		out := filepath.Join(dir, fabricFileName(i))
+		res, err := s.Sort(context.Background(),
+			Generate(record.Uniform{Seed: 5}, n), ToFile(out),
+			WithAlgorithm(Threaded), WithFabric(fabric))
+		if err != nil {
+			t.Fatalf("fabric %d: %v", fabric, err)
+		}
+		if res.Merge == nil {
+			t.Fatal("input did not take the hierarchical path")
+		}
+		res.Close()
+		paths[i] = out
+	}
+	a, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("hierarchical copying fabric output differs from zero-copy")
+	}
+}
+
+func fabricFileName(i int) string {
+	if i == 0 {
+		return "zerocopy.dat"
+	}
+	return "copying.dat"
+}

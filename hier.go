@@ -142,7 +142,7 @@ func (s *Sorter) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink
 	nBatches := int((n + runPl.N - 1) / runPl.N)
 	stats := &MergeStats{FanIn: fanIn, RunRecords: runPl.N}
 
-	br, err := core.NewBatchRunner(ctx, runPl, s.m)
+	br, err := core.NewBatchRunner(ctx, runPl, s.machineFor(o))
 	if err != nil {
 		return nil, err
 	}

@@ -20,6 +20,7 @@ type Group struct {
 	pr      *Proc
 	members []int // global ranks, in group-rank order
 	myRank  int   // this processor's rank within the group
+	contig  bool  // members are [members[0], members[0]+len) in order
 }
 
 // NewGroup builds the sub-communicator for the calling processor. members
@@ -42,6 +43,13 @@ func NewGroup(pr *Proc, members []int) (*Group, error) {
 	}
 	if g.myRank < 0 {
 		return nil, fmt.Errorf("cluster: rank %d is not a member of the group %v", pr.Rank(), members)
+	}
+	g.contig = true
+	for i, m := range g.members {
+		if m != g.members[0]+i {
+			g.contig = false
+			break
+		}
 	}
 	return g, nil
 }
@@ -81,10 +89,23 @@ func (g *Group) Recv(src, tag int) (record.Slice, error) {
 	return g.pr.Recv(g.members[src], tag)
 }
 
-// AllToAll exchanges within the group only.
+// AllToAll exchanges within the group only. Contiguous groups (the common
+// case: ContiguousGroup) run the round through the exchange board — keyed
+// by (tag, member window) so disjoint groups may share a tag — with one
+// synchronization per member; arbitrary member lists fall back to tagged
+// point-to-point messages. Ownership and counter semantics match
+// Proc.AllToAll.
 func (g *Group) AllToAll(cnt *sim.Counters, tag int, out []record.Slice) ([]record.Slice, error) {
 	if len(out) != len(g.members) {
 		return nil, fmt.Errorf("cluster: group all-to-all with %d buffers on %d members", len(out), len(g.members))
+	}
+	if g.contig {
+		c := g.pr.c
+		for d := range out {
+			chargeMsg(cnt, d == g.myRank, len(out[d].Data))
+			out[d] = c.wireCopy(out[d])
+		}
+		return c.exchangeRound(xkey{tag: tag, base: g.members[0], n: len(g.members)}, g.myRank, out)
 	}
 	for d := range g.members {
 		if err := g.Send(cnt, d, tag, out[d]); err != nil {

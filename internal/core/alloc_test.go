@@ -14,15 +14,15 @@ func TestPatternPlansMatchNaiveReplay(t *testing.T) {
 	destCol := func(i, j int) int { return matrix.Step2ColOf(r, s, i) }
 
 	var sp sendPlan
-	sp.build(destCol, 0, r, P)
+	buildSendPlan(&sp, destCol, 0, r, P)
 	counts := make([]int, P)
 	pos := 0
-	for _, e := range sp.exts {
-		for k := 0; k < int(e.count); k++ {
-			if want := destCol(pos, 0) % P; int(e.dst) != want {
-				t.Fatalf("send extent at position %d routes to %d, want %d", pos, e.dst, want)
+	for _, e := range sp.Exts {
+		for k := 0; k < int(e.Count); k++ {
+			if want := destCol(pos, 0) % P; int(e.Dst) != want {
+				t.Fatalf("send extent at position %d routes to %d, want %d", pos, e.Dst, want)
 			}
-			counts[e.dst]++
+			counts[e.Dst]++
 			pos++
 		}
 	}
@@ -30,8 +30,8 @@ func TestPatternPlansMatchNaiveReplay(t *testing.T) {
 		t.Fatalf("send extents cover %d of %d positions", pos, r)
 	}
 	for d := range counts {
-		if counts[d] != sp.counts[d] {
-			t.Fatalf("send counts[%d] = %d, extents say %d", d, sp.counts[d], counts[d])
+		if counts[d] != int(sp.Counts[d]) {
+			t.Fatalf("send counts[%d] = %d, extents say %d", d, sp.Counts[d], counts[d])
 		}
 	}
 
@@ -50,12 +50,12 @@ func TestPatternPlansMatchNaiveReplay(t *testing.T) {
 	// in source order.
 	i := 0
 	for _, e := range rp.exts {
-		for k := 0; k < int(e.count); k++ {
+		for k := 0; k < int(e.Count); k++ {
 			for destCol(i, 0)%P != p {
 				i++
 			}
-			if want := destCol(i, 0) / P; int(e.dst) != want {
-				t.Fatalf("recv extent at kept position %d targets slot %d, want %d", i, e.dst, want)
+			if want := destCol(i, 0) / P; int(e.Dst) != want {
+				t.Fatalf("recv extent at kept position %d targets slot %d, want %d", i, e.Dst, want)
 			}
 			i++
 		}
@@ -70,7 +70,7 @@ func TestScatterRoundWarmAllocs(t *testing.T) {
 	destCol := func(i, j int) int { return matrix.Step4ColOf(r, s, i) }
 	var sp sendPlan
 	var rp recvPlan
-	sp.build(destCol, 0, r, P)
+	buildSendPlan(&sp, destCol, 0, r, P)
 	rp.build(destCol, 0, r, s/P, P, p)
 
 	pool := record.NewPool()
@@ -83,10 +83,10 @@ func TestScatterRoundWarmAllocs(t *testing.T) {
 		// Communicate: pack per destination processor.
 		outMsgs := record.GetHeaders(P)
 		for d := 0; d < P; d++ {
-			outMsgs[d] = pool.Get(sp.counts[d], z)
+			outMsgs[d] = pool.Get(int(sp.Counts[d]), z)
 			fill[d] = 0
 		}
-		replayExtents(outMsgs, fill, col, sp.exts, z)
+		replayExtents(outMsgs, fill, col, sp.Exts, z)
 		// Permute: replay one incoming message into per-column writes.
 		msg := outMsgs[p]
 		writes := record.GetHeaders(s / P)
@@ -121,10 +121,10 @@ func TestPlanBuildWarmAllocs(t *testing.T) {
 	destCol := func(i, j int) int { return (i + j) % s }
 	var sp sendPlan
 	var rp recvPlan
-	sp.build(destCol, 0, r, P)
+	buildSendPlan(&sp, destCol, 0, r, P)
 	rp.build(destCol, 0, r, s/P, P, p)
 	allocs := testing.AllocsPerRun(10, func() {
-		sp.build(destCol, 3, r, P)
+		buildSendPlan(&sp, destCol, 3, r, P)
 		rp.build(destCol, 3, r, s/P, P, p)
 	})
 	if allocs != 0 {

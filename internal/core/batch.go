@@ -86,7 +86,7 @@ func NewBatchRunner(ctx context.Context, pl Plan, m pdm.Machine) (*BatchRunner, 
 // dead context) dissolves the fabric.
 func (br *BatchRunner) fabric(ctx context.Context) {
 	defer close(br.fabricDone)
-	err := cluster.RunCtx(ctx, br.pl.P, func(pr *cluster.Proc) error {
+	err := cluster.RunCtxFabric(ctx, br.pl.P, fabricOf(br.m), func(pr *cluster.Proc) error {
 		for {
 			if pr.Rank() == 0 {
 				br.cur = nil

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"colsort/internal/pdm"
+	"colsort/internal/record"
+	"colsort/internal/sim"
+)
+
+// runOnFabric executes one planned algorithm on a fresh machine with the
+// given interconnect and returns the output bytes plus the per-pass counter
+// totals. The generator seed fixes the input, so two runs differing only in
+// fabric must agree on everything observable.
+func runOnFabric(t *testing.T, pl Plan, copying bool, g record.Generator) ([]byte, []sim.Counters) {
+	t.Helper()
+	m := pdm.Machine{P: pl.P, D: pl.D, CopyFabric: copying}
+	input, err := pl.NewInput(m, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer input.Close()
+	res, err := Run(context.Background(), pl, m, input, Hooks{})
+	if err != nil {
+		t.Fatalf("%v on %s fabric: %v", pl.Alg, fabricName(copying), err)
+	}
+	defer res.Output.Close()
+	snap, err := res.Output.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := make([]sim.Counters, len(res.PassCounters))
+	for k := range res.PassCounters {
+		for _, c := range res.PassCounters[k] {
+			totals[k].Add(c)
+		}
+	}
+	return append([]byte(nil), snap.Data...), totals
+}
+
+func fabricName(copying bool) string {
+	if copying {
+		return "copying"
+	}
+	return "zero-copy"
+}
+
+// TestFabricEquivalence is the ownership-transfer contract's acceptance
+// test: for every algorithm, the zero-copy and the copying fabric must
+// produce BYTE-IDENTICAL output and IDENTICAL sim counters per pass —
+// network bytes, message counts, local bytes, comparison work, disk
+// traffic, everything. The fabrics may differ only in wall-clock cost.
+func TestFabricEquivalence(t *testing.T) {
+	plans := []struct {
+		name string
+		plan func(t *testing.T) Plan
+	}{
+		{"threaded", planOf(Threaded, 512*8, 4, 4, 512, 16)},
+		{"threaded-4pass", planOf(Threaded4, 512*8, 4, 4, 512, 16)},
+		{"subblock", planOf(Subblock, 256*16, 4, 4, 256, 16)},
+		{"m-columnsort", planOf(MColumn, 256*8, 4, 4, 64, 16)},
+		{"combined", planOf(Combined, 256*16, 4, 4, 64, 16)},
+		{"hybrid", func(t *testing.T) Plan {
+			pl, err := NewHybridPlan(4096, 8, 8, 512, 16, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return pl
+		}},
+	}
+	for _, tc := range plans {
+		t.Run(tc.name, func(t *testing.T) {
+			pl := tc.plan(t)
+			gen := record.Uniform{Seed: 42}
+			outZC, cntZC := runOnFabric(t, pl, false, gen)
+			outCP, cntCP := runOnFabric(t, pl, true, gen)
+			if !bytes.Equal(outZC, outCP) {
+				t.Fatalf("%s: output bytes differ between fabrics", tc.name)
+			}
+			if len(cntZC) != len(cntCP) {
+				t.Fatalf("%s: pass counts differ: %d vs %d", tc.name, len(cntZC), len(cntCP))
+			}
+			for k := range cntZC {
+				if cntZC[k] != cntCP[k] {
+					t.Fatalf("%s pass %d: counters differ between fabrics:\nzero-copy: %+v\ncopying:   %+v",
+						tc.name, k+1, cntZC[k], cntCP[k])
+				}
+			}
+		})
+	}
+}
+
+func planOf(alg Algorithm, n int64, p, d, mem, z int) func(t *testing.T) Plan {
+	return func(t *testing.T) Plan {
+		pl, err := NewPlan(alg, n, p, d, mem, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pl
+	}
+}

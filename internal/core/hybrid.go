@@ -123,7 +123,7 @@ func runHybridScatterPass(pr *cluster.Proc, pl Plan, spec hybridSpec, in, out *p
 	// here and mapping them to target columns. Sources with the same
 	// in-group position share a rank range, hence a plan.
 	var sendPl sendPlan
-	sendPl.build(func(i, _ int) int { d, _ := dest(int64(lo) + int64(i)); return d }, 0, rb, P)
+	buildSendPlan(&sendPl, func(i, _ int) int { d, _ := dest(int64(lo) + int64(i)); return d }, 0, rb, P)
 	keepPlans := make([]colPlan, g)
 	for mm := 0; mm < g; mm++ {
 		kp := &keepPlans[mm]
@@ -173,22 +173,15 @@ func runHybridScatterPass(pr *cluster.Proc, pl Plan, spec hybridSpec, in, out *p
 		return rd, nil
 	}
 
-	fill := make([]int32, P)
 	fillCol := make([]int32, s)
 	distribute := func(rd round) (round, error) {
-		// Pack per destination processor, in rank order.
-		outMsgs := record.GetHeaders(P)
-		for d := 0; d < P; d++ {
-			outMsgs[d] = pool.Get(sendPl.counts[d], z)
-			fill[d] = 0
-		}
-		replayExtents(outMsgs, fill, rd.buf, sendPl.exts, z)
-		cComm.MovedBytes += int64(rb * z)
+		// Planned collective: pack per destination processor in rank order,
+		// straight from the sorted block, and exchange with one
+		// synchronization.
+		tag := tagBase + rd.t*hybridTagStride + incore.TagSpan
+		inMsgs, err := pr.AllToAllPlan(&cComm, tag, rd.buf, &sendPl, pool)
 		pool.Put(rd.buf)
 		rd.buf = record.Slice{}
-		tag := tagBase + rd.t*hybridTagStride + incore.TagSpan
-		inMsgs, err := pr.AllToAll(&cComm, tag, outMsgs)
-		record.PutHeaders(outMsgs)
 		if err != nil {
 			return rd, err
 		}

@@ -117,7 +117,7 @@ func runMColScatterPass(pr *cluster.Proc, pl Plan, spec mcolSpec, in, out *pdm.S
 	var packPlan sendPlan
 	var keepPlans []colPlan // per source processor, ranks this processor keeps
 	if spec.redistribute {
-		packPlan.build(func(i, _ int) int { return destOf(int64(lo) + int64(i)) }, 0, rb, P)
+		buildSendPlan(&packPlan, func(i, _ int) int { return destOf(int64(lo) + int64(i)) }, 0, rb, P)
 		if spec.colInvariant {
 			keepPlans = make([]colPlan, P)
 			for src := 0; src < P; src++ {
@@ -140,7 +140,6 @@ func runMColScatterPass(pr *cluster.Proc, pl Plan, spec mcolSpec, in, out *pdm.S
 		}
 	}
 
-	fill := make([]int32, P)
 	fillCol := make([]int32, s)
 	colCounts := make([]int32, s)
 	// Stage scratch for column-dependent maps, rebuilt per round.
@@ -149,17 +148,11 @@ func runMColScatterPass(pr *cluster.Proc, pl Plan, spec mcolSpec, in, out *pdm.S
 	distribute := func(rd round) (round, error) {
 		local := rd.buf
 		if spec.redistribute {
-			outMsgs := record.GetHeaders(P)
-			for d := 0; d < P; d++ {
-				outMsgs[d] = pool.Get(packPlan.counts[d], z)
-				fill[d] = 0
-			}
-			replayExtents(outMsgs, fill, local, packPlan.exts, z)
-			cComm.MovedBytes += int64(rb * z)
+			// Planned collective: pack per destination straight from the
+			// sorted rank block and exchange with one synchronization.
+			inMsgs, err := pr.AllToAllPlan(&cComm, tagBase+rd.j*mcolTagStride+3*incore.TagSpan, local, &packPlan, pool)
 			pool.Put(local)
 			rd.buf = record.Slice{}
-			inMsgs, err := pr.AllToAll(&cComm, tagBase+rd.j*mcolTagStride+3*incore.TagSpan, outMsgs)
-			record.PutHeaders(outMsgs)
 			if err != nil {
 				return rd, err
 			}

@@ -1,6 +1,9 @@
 package core
 
-import "colsort/internal/record"
+import (
+	"colsort/internal/cluster"
+	"colsort/internal/record"
+)
 
 // Precomputed permutation tables for the scatter passes.
 //
@@ -15,27 +18,29 @@ import "colsort/internal/record"
 // collapses from r (or r·P) closure calls plus per-record CopyRecord loops
 // and map lookups into batched copies of runs over dense slices.
 //
+// The send-side tables use the fabric's own plan type (cluster.SendPlan),
+// so the communicate stage hands the whole plan to the planned all-to-all
+// collective, which packs per-destination pooled buffers in one pass over
+// the sorted column and runs the round through the exchange board.
+//
 // For passes whose destination map does depend on the source column (the
 // subblock permutation, the targeted step-5 pass), the plans are rebuilt
 // per round into stage-local scratch, which reuses the same backing arrays
 // and therefore still allocates nothing in steady state.
 
 // extent is a maximal run of consecutive sorted positions sharing one
-// destination: dst is a destination processor on the send side and an
+// destination: Dst is a destination processor on the send side and an
 // owned-column slot (or target column) on the receive side.
-type extent struct {
-	dst   int32
-	count int32
-}
+type extent = cluster.Extent
 
 // replayExtents executes a compiled plan: for each extent, one batched copy
-// of count records from the running position in src into dst[e.dst] at that
-// buffer's fill offset. fill must be zeroed and len ≥ the largest e.dst+1;
+// of count records from the running position in src into dst[e.Dst] at that
+// buffer's fill offset. fill must be zeroed and len ≥ the largest e.Dst+1;
 // it is left holding the per-destination record counts consumed.
 func replayExtents(dst []record.Slice, fill []int32, src record.Slice, exts []extent, z int) {
 	pos := 0
 	for _, e := range exts {
-		d, n := int(e.dst), int(e.count)
+		d, n := int(e.Dst), int(e.Count)
 		f := int(fill[d])
 		copy(dst[d].Data[f*z:(f+n)*z], src.Data[pos*z:(pos+n)*z])
 		fill[d] += int32(n)
@@ -45,34 +50,32 @@ func replayExtents(dst []record.Slice, fill []int32, src record.Slice, exts []ex
 
 // sendPlan is the communicate stage's packing pattern for one source
 // column: how many records go to each destination processor, and the
-// contiguous-run extents of the sorted column in scan order.
-type sendPlan struct {
-	counts []int // per destination processor
-	exts   []extent
-}
+// contiguous-run extents of the sorted column in scan order. It IS the
+// fabric's plan type, handed to Proc.AllToAllPlan verbatim.
+type sendPlan = cluster.SendPlan
 
-// build compiles the plan for source column col, reusing the plan's
+// buildSendPlan compiles the plan for source column col, reusing the plan's
 // backing arrays.
-func (sp *sendPlan) build(destCol func(i, j int) int, col, r, P int) {
-	if cap(sp.counts) < P {
-		sp.counts = make([]int, P)
+func buildSendPlan(sp *sendPlan, destCol func(i, j int) int, col, r, P int) {
+	if cap(sp.Counts) < P {
+		sp.Counts = make([]int32, P)
 	}
-	sp.counts = sp.counts[:P]
-	for d := range sp.counts {
-		sp.counts[d] = 0
+	sp.Counts = sp.Counts[:P]
+	for d := range sp.Counts {
+		sp.Counts[d] = 0
 	}
-	if cap(sp.exts) == 0 {
-		sp.exts = make([]extent, 0, r) // extents never outnumber positions
+	if cap(sp.Exts) == 0 {
+		sp.Exts = make([]extent, 0, r) // extents never outnumber positions
 	}
-	sp.exts = sp.exts[:0]
+	sp.Exts = sp.Exts[:0]
 	prev := int32(-1)
 	for i := 0; i < r; i++ {
 		d := int32(destCol(i, col) % P)
-		sp.counts[d]++
+		sp.Counts[d]++
 		if d == prev {
-			sp.exts[len(sp.exts)-1].count++
+			sp.Exts[len(sp.Exts)-1].Count++
 		} else {
-			sp.exts = append(sp.exts, extent{dst: d, count: 1})
+			sp.Exts = append(sp.Exts, extent{Dst: d, Count: 1})
 			prev = d
 		}
 	}
@@ -103,15 +106,15 @@ func (cp *colPlan) reset(s int) {
 }
 
 // add accumulates the next kept scan position, coalescing same-column runs
-// into one extent — the same run-length encoding sendPlan.build and
+// into one extent — the same run-length encoding buildSendPlan and
 // recvPlan.build inline in their scan loops.
 func (cp *colPlan) add(tj int) {
 	cp.counts[tj]++
 	cp.total++
-	if n := len(cp.exts); n > 0 && cp.exts[n-1].dst == int32(tj) {
-		cp.exts[n-1].count++
+	if n := len(cp.exts); n > 0 && cp.exts[n-1].Dst == int32(tj) {
+		cp.exts[n-1].Count++
 	} else {
-		cp.exts = append(cp.exts, extent{dst: int32(tj), count: 1})
+		cp.exts = append(cp.exts, extent{Dst: int32(tj), Count: 1})
 	}
 }
 
@@ -153,9 +156,9 @@ func (rp *recvPlan) build(destCol func(i, j int) int, srcCol, r, nSlots, P, p in
 		rp.counts[slot]++
 		rp.total++
 		if slot == prev {
-			rp.exts[len(rp.exts)-1].count++
+			rp.exts[len(rp.exts)-1].Count++
 		} else {
-			rp.exts = append(rp.exts, extent{dst: slot, count: 1})
+			rp.exts = append(rp.exts, extent{Dst: slot, Count: 1})
 			prev = slot
 		}
 	}

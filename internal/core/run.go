@@ -117,13 +117,21 @@ func Run(ctx context.Context, pl Plan, m pdm.Machine, input *pdm.Store, hooks Ho
 		pools = record.NewPools(pl.P)
 	}
 	job := newPassJob(pl, input, hooks, len(passes), 0)
-	err = cluster.RunCtx(ctx, pl.P, func(pr *cluster.Proc) error {
+	err = cluster.RunCtxFabric(ctx, pl.P, fabricOf(m), func(pr *cluster.Proc) error {
 		return runPasses(ctx, pr, pl, m, passes, pools, passTagWindow(pl), job)
 	})
 	if err != nil {
 		return nil, job.fail(pl, err)
 	}
 	return &Result{Plan: pl, PassCounters: job.cnts, Output: job.stores[len(passes)]}, nil
+}
+
+// fabricOf maps the machine's interconnect choice to a cluster fabric.
+func fabricOf(m pdm.Machine) cluster.Fabric {
+	if m.CopyFabric {
+		return cluster.Copying
+	}
+	return cluster.ZeroCopy
 }
 
 // checkRunInput validates the input store and machine against the plan.

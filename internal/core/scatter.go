@@ -109,7 +109,7 @@ func runScatterPass(pr *cluster.Proc, pl Plan, spec scatterSpec, in, out *pdm.St
 	var sharedSend sendPlan
 	var sharedRecv recvPlan
 	if spec.colInvariant {
-		sharedSend.build(spec.destCol, 0, r, P)
+		buildSendPlan(&sharedSend, spec.destCol, 0, r, P)
 		sharedRecv.build(spec.destCol, 0, r, nSlots, P, p)
 	}
 
@@ -146,29 +146,34 @@ func runScatterPass(pr *cluster.Proc, pl Plan, spec scatterSpec, in, out *pdm.St
 		// sorted run. The plan turns the scan into one copy per extent.
 		sp := &sharedSend
 		if !spec.colInvariant {
-			commPlan.build(spec.destCol, rd.col, r, P)
+			buildSendPlan(&commPlan, spec.destCol, rd.col, r, P)
 			sp = &commPlan
 		}
-		outMsgs := record.GetHeaders(P)
-		for d := 0; d < P; d++ {
-			outMsgs[d] = pool.Get(sp.counts[d], z)
-			fill[d] = 0
-		}
-		replayExtents(outMsgs, fill, rd.buf, sp.exts, z)
-		cComm.MovedBytes += int64(r * z)
-		pool.Put(rd.buf)
-		rd.buf = record.Slice{}
-
 		tag := tagBase + rd.t
 		if spec.targetProcs == nil {
-			in, err := pr.AllToAll(&cComm, tag, outMsgs)
-			record.PutHeaders(outMsgs)
+			// Planned collective: the fabric packs per-destination pooled
+			// buffers straight from the sorted column (charging the pack)
+			// and runs the round through the exchange board with a single
+			// synchronization.
+			in, err := pr.AllToAllPlan(&cComm, tag, rd.buf, sp, pool)
+			pool.Put(rd.buf)
+			rd.buf = record.Slice{}
 			if err != nil {
 				return rd, err
 			}
 			rd.inMsgs = in
 			return rd, nil
 		}
+		outMsgs := record.GetHeaders(P)
+		for d := 0; d < P; d++ {
+			outMsgs[d] = pool.Get(int(sp.Counts[d]), z)
+			fill[d] = 0
+		}
+		replayExtents(outMsgs, fill, rd.buf, sp.Exts, z)
+		cComm.MovedBytes += int64(r * z)
+		pool.Put(rd.buf)
+		rd.buf = record.Slice{}
+
 		// Targeted sends: only the computed target set gets a message
 		// (property 1 of Section 3); receive from exactly the sources
 		// whose target set includes this processor.

@@ -243,17 +243,23 @@ func (t *tree) cur(r int) []byte {
 }
 
 func (t *tree) beats(a, b int) bool {
-	ra, rb := t.cur(a), t.cur(b)
-	switch {
-	case ra == nil:
+	if a < 0 || t.readers[a].done() {
 		return false
-	case rb == nil:
+	}
+	if b < 0 || t.readers[b].done() {
 		return true
 	}
 	// Record order is plain lexicographic byte order: the engine's key is
 	// the first 8 bytes big-endian with payload tie-break, which coincides
-	// with bytes.Compare over the whole record.
-	c := bytes.Compare(ra, rb)
+	// with bytes.Compare over the whole record. The readers cache that
+	// 8-byte prefix at each advance, so the common case is one uint64
+	// compare without touching the chunk bytes; ties fall back to the full
+	// record.
+	ra, rb := t.readers[a], t.readers[b]
+	if ra.Key() != rb.Key() {
+		return ra.Key() < rb.Key()
+	}
+	c := bytes.Compare(ra.Cur(), rb.Cur())
 	if c != 0 {
 		return c < 0
 	}

@@ -15,6 +15,7 @@
 package merge
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"colsort/internal/pdm"
@@ -122,6 +123,7 @@ type Reader struct {
 	chunk     []byte
 	cur       []byte // current chunk's live bytes
 	pos       int    // byte position of the current record within cur
+	key       uint64 // 8-byte key prefix of the current record
 	off       int64  // disk offset of the next chunk to load
 	bytesLeft int64  // unread bytes beyond cur
 	bytesRead int64  // total bytes loaded (stats)
@@ -165,6 +167,7 @@ func (r *Reader) load() error {
 	r.bytesLeft -= int64(n)
 	r.bytesRead += int64(n)
 	r.cur, r.pos = buf, 0
+	r.key = binary.BigEndian.Uint64(buf)
 	if p, ok := r.run.Disk.(pdm.Prefetcher); ok {
 		if noff, nn := r.nextExtent(); nn > 0 {
 			p.Prefetch(noff, nn)
@@ -182,6 +185,14 @@ func (r *Reader) Cur() []byte {
 	return r.cur[r.pos : r.pos+r.run.RecSize]
 }
 
+// done reports run exhaustion without materializing the record slice.
+func (r *Reader) done() bool { return r.pos >= len(r.cur) }
+
+// Key returns the current record's 8-byte big-endian key prefix, cached at
+// each advance so merge comparisons need not touch the chunk bytes. Valid
+// only while done() is false.
+func (r *Reader) Key() uint64 { return r.key }
+
 // Prime loads the first chunk and hints the second; it must be called once
 // before Cur/Advance.
 func (r *Reader) Prime() error {
@@ -198,12 +209,16 @@ func (r *Reader) Prime() error {
 }
 
 // Advance moves past the current record, loading the next chunk when the
-// current one is consumed.
+// current one is consumed and refreshing the cached key prefix.
 func (r *Reader) Advance() error {
 	r.pos += r.run.RecSize
-	if r.pos >= len(r.cur) && r.bytesLeft > 0 {
-		return r.load()
+	if r.pos >= len(r.cur) {
+		if r.bytesLeft > 0 {
+			return r.load()
+		}
+		return nil
 	}
+	r.key = binary.BigEndian.Uint64(r.cur[r.pos:])
 	return nil
 }
 

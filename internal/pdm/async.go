@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"colsort/internal/record"
 )
 
 // This file is the asynchronous I/O layer of the PDM substrate: AsyncDisk
@@ -47,6 +49,13 @@ type AsyncConfig struct {
 	// disk; a full queue applies back-pressure to WriteAt. ≤0 selects
 	// DefaultWriteBehind.
 	WriteBehind int
+	// Pool, when non-nil, supplies the prefetch staging and write-behind
+	// snapshot buffers. Machine wires each disk to its owning processor's
+	// record pool, so the buffers survive the per-pass store lifecycle
+	// (stores — and their AsyncDisks — are created and closed once per
+	// pass, and a per-disk free list would be cold every time). A nil Pool
+	// falls back to a disk-local free list.
+	Pool *record.Pool
 }
 
 // Default queue depths: enough to keep one column extent in flight per
@@ -420,8 +429,13 @@ func (d *AsyncDisk) Close() error {
 	return err
 }
 
-// getBuf returns a staging buffer of length n. Caller holds mu.
+// getBuf returns a staging buffer of length n, preferring the shared
+// record pool (warm across the per-pass disk lifecycle) over the
+// disk-local free list. Caller holds mu; the pool's lock is a leaf.
 func (d *AsyncDisk) getBuf(n int) []byte {
+	if d.cfg.Pool != nil {
+		return d.cfg.Pool.GetBytes(n)
+	}
 	for i := len(d.free) - 1; i >= 0; i-- {
 		if cap(d.free[i]) >= n {
 			buf := d.free[i][:n]
@@ -436,6 +450,10 @@ func (d *AsyncDisk) getBuf(n int) []byte {
 
 // putBuf recycles a staging buffer. Caller holds mu.
 func (d *AsyncDisk) putBuf(b []byte) {
+	if d.cfg.Pool != nil {
+		d.cfg.Pool.PutBytes(b)
+		return
+	}
 	if cap(b) == 0 || len(d.free) >= maxFreeAsyncBufs {
 		return
 	}

@@ -16,6 +16,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync/atomic"
+
+	"colsort/internal/record"
 )
 
 // Disk is one simulated disk: a flat byte address space with sparse
@@ -28,13 +30,21 @@ type Disk interface {
 	Close() error
 }
 
-// MemDisk is a growable in-memory disk.
+// MemDisk is a growable in-memory disk. When pool is set, the backing
+// array is drawn from (and on Close returned to) that pool, so the
+// create-per-pass store lifecycle recycles disk backings instead of
+// allocating — and zeroing — tens of megabytes per pass.
 type MemDisk struct {
 	data []byte
+	pool *record.Pool
 }
 
 // NewMemDisk returns an empty memory-backed disk.
 func NewMemDisk() *MemDisk { return &MemDisk{} }
+
+// NewPooledMemDisk returns an empty memory disk whose backing cycles
+// through pool.
+func NewPooledMemDisk(pool *record.Pool) *MemDisk { return &MemDisk{pool: pool} }
 
 // ReadAt copies from the disk into p, zero-filling beyond the extent.
 func (d *MemDisk) ReadAt(p []byte, off int64) error {
@@ -54,27 +64,44 @@ func (d *MemDisk) ReadAt(p []byte, off int64) error {
 // WriteAt copies p onto the disk, growing it as needed. Growth doubles the
 // backing capacity so a sequence of extending writes (the append-heavy
 // arrival-order write pattern of every pass) costs amortized O(1) copies
-// per byte instead of re-copying the whole extent each time.
+// per byte instead of re-copying the whole extent each time. An extending
+// write zeroes only the gap between the old extent and off — the extension
+// p covers is about to be overwritten, and zeroing it first would charge
+// every appended byte a second memory pass.
 func (d *MemDisk) WriteAt(p []byte, off int64) error {
 	if off < 0 {
 		return fmt.Errorf("pdm: negative offset %d", off)
 	}
 	end := off + int64(len(p))
 	if end > int64(len(d.data)) {
+		old := int64(len(d.data))
 		if end <= int64(cap(d.data)) {
-			ext := d.data[len(d.data):end]
-			for i := range ext {
-				ext[i] = 0
-			}
 			d.data = d.data[:end]
 		} else {
 			newCap := 2 * int64(cap(d.data))
 			if newCap < end {
 				newCap = end
 			}
-			grown := make([]byte, end, newCap)
+			var grown []byte
+			if d.pool != nil {
+				grown = d.pool.GetBytes(int(newCap))[:end]
+			} else {
+				grown = make([]byte, end, newCap)
+			}
 			copy(grown, d.data)
+			if d.pool != nil {
+				d.pool.PutBytes(d.data[:cap(d.data)])
+			}
 			d.data = grown
+		}
+		// Zero only the gap between the old extent and off: the extension
+		// p covers is overwritten below, and pooled (or in-cap) memory may
+		// be dirty. Reads beyond the extent zero-fill in ReadAt.
+		if off > old {
+			gap := d.data[old:off]
+			for i := range gap {
+				gap[i] = 0
+			}
 		}
 	}
 	copy(d.data[off:end], p)
@@ -84,8 +111,15 @@ func (d *MemDisk) WriteAt(p []byte, off int64) error {
 // Size returns the written extent in bytes.
 func (d *MemDisk) Size() int64 { return int64(len(d.data)) }
 
-// Close releases the backing storage.
-func (d *MemDisk) Close() error { d.data = nil; return nil }
+// Close releases the backing storage, recycling it into the pool when the
+// disk is pool-backed.
+func (d *MemDisk) Close() error {
+	if d.pool != nil && d.data != nil {
+		d.pool.PutBytes(d.data)
+	}
+	d.data = nil
+	return nil
+}
 
 // FileDisk is a disk backed by one file, for genuinely out-of-core runs.
 type FileDisk struct {
@@ -181,11 +215,20 @@ type Backend interface {
 	Name() string
 }
 
-// MemBackend builds memory disks.
-type MemBackend struct{}
+// MemBackend builds memory disks. When Pools is set (Machine wires its
+// per-processor pools in), each disk's backing array cycles through the
+// pool of the processor owning it.
+type MemBackend struct {
+	Pools []*record.Pool
+}
 
-func (MemBackend) NewDisk(int) (Disk, error) { return NewMemDisk(), nil }
-func (MemBackend) Name() string              { return "mem" }
+func (b MemBackend) NewDisk(idx int) (Disk, error) {
+	if len(b.Pools) > 0 {
+		return NewPooledMemDisk(b.Pools[idx%len(b.Pools)]), nil
+	}
+	return NewMemDisk(), nil
+}
+func (MemBackend) Name() string { return "mem" }
 
 // FileBackend builds file disks under Dir. Several stores (input, the
 // intermediate file of each pass, output) coexist on the same simulated

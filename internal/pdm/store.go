@@ -267,6 +267,13 @@ type Machine struct {
 	// disk (below the async layer, so write-behind and prefetch genuinely
 	// hide it), modeling physical disks on page-cached hardware.
 	Delay *DelayConfig
+
+	// CopyFabric selects the MPI-fidelity copying interconnect: message
+	// payloads are deep-copied through a fabric pool at send time instead
+	// of transferring buffer ownership. Outputs and operation counts are
+	// identical to the default zero-copy fabric; only wall-clock cost
+	// differs.
+	CopyFabric bool
 }
 
 // DefaultStripeBytes is the striping unit used when none is specified.
@@ -284,7 +291,7 @@ func (m Machine) NewArrays() ([]*DiskArray, error) {
 	}
 	backend := m.Backend
 	if backend == nil {
-		backend = MemBackend{}
+		backend = MemBackend{Pools: m.Pools}
 	}
 	arrays := make([]*DiskArray, m.P)
 	for p := 0; p < m.P; p++ {
@@ -298,7 +305,11 @@ func (m Machine) NewArrays() ([]*DiskArray, error) {
 				d = NewDelayDisk(d, *m.Delay)
 			}
 			if m.Async != nil {
-				d = NewAsyncDisk(d, *m.Async)
+				cfg := *m.Async
+				if cfg.Pool == nil && m.Pools != nil {
+					cfg.Pool = m.Pools[p] // owning processor's pool
+				}
+				d = NewAsyncDisk(d, cfg)
 			}
 			disks[k] = d
 		}
@@ -317,7 +328,7 @@ func (m Machine) NewArrays() ([]*DiskArray, error) {
 func (m Machine) NewSpillDisk(idx int) (Disk, error) {
 	backend := m.Backend
 	if backend == nil {
-		backend = MemBackend{}
+		backend = MemBackend{Pools: m.Pools}
 	}
 	d, err := backend.NewDisk(idx)
 	if err != nil {
@@ -327,7 +338,11 @@ func (m Machine) NewSpillDisk(idx int) (Disk, error) {
 		d = NewDelayDisk(d, *m.Delay)
 	}
 	if m.Async != nil {
-		d = NewAsyncDisk(d, *m.Async)
+		cfg := *m.Async
+		if cfg.Pool == nil && m.Pools != nil {
+			cfg.Pool = m.Pools[idx%m.P]
+		}
+		d = NewAsyncDisk(d, cfg)
 	}
 	return d, nil
 }

@@ -56,25 +56,7 @@ func (p *Pool) Get(n, size int) Slice {
 	if err := CheckSize(size); err != nil {
 		panic(err)
 	}
-	if n == 0 {
-		return Slice{Data: empty, Size: size}
-	}
-	need := n * size
-	k := bits.Len(uint(need - 1)) // ceil(log2(need))
-	if k >= poolClasses {
-		return Make(n, size)
-	}
-	p.mu.Lock()
-	free := p.classes[k]
-	if ln := len(free); ln > 0 {
-		buf := free[ln-1]
-		free[ln-1] = nil
-		p.classes[k] = free[:ln-1]
-		p.mu.Unlock()
-		return Slice{Data: buf[:need], Size: size}
-	}
-	p.mu.Unlock()
-	return Slice{Data: make([]byte, need, 1<<k), Size: size}
+	return Slice{Data: p.GetBytes(n * size), Size: size}
 }
 
 // Put returns a buffer to the pool. The buffer's full capacity is recycled:
@@ -99,6 +81,46 @@ func (p *Pool) Put(s Slice) {
 		p.classes[k] = append(p.classes[k], buf)
 	}
 	p.mu.Unlock()
+}
+
+// GetBytes returns a raw byte buffer of length n from the size-classed
+// free lists — the allocation primitive Get wraps with a record shape,
+// also used directly by clients (the async disk layer's prefetch staging
+// and write-behind snapshots, pooled MemDisk backings) whose extents are
+// byte- not record-shaped. The contents are NOT zeroed. A nil pool falls
+// back to plain allocation.
+func (p *Pool) GetBytes(n int) []byte {
+	if n <= 0 {
+		return empty
+	}
+	if p == nil {
+		return make([]byte, n)
+	}
+	k := bits.Len(uint(n - 1)) // ceil(log2(n))
+	if k >= poolClasses {
+		return make([]byte, n)
+	}
+	p.mu.Lock()
+	free := p.classes[k]
+	if ln := len(free); ln > 0 {
+		buf := free[ln-1]
+		free[ln-1] = nil
+		p.classes[k] = free[:ln-1]
+		p.mu.Unlock()
+		return buf[:n]
+	}
+	p.mu.Unlock()
+	return make([]byte, n, 1<<k)
+}
+
+// PutBytes recycles a buffer obtained from GetBytes (or any whole buffer
+// the caller owns outright) into the byte pool. Like Put, the buffer's full
+// capacity is recycled and empty or over-large buffers are dropped.
+func (p *Pool) PutBytes(b []byte) {
+	if p == nil {
+		return
+	}
+	p.Put(Slice{Data: b, Size: MinSize})
 }
 
 // FreeBuffers reports the number of idle buffers currently held, for tests

@@ -147,35 +147,72 @@ func merge2(dst, src record.Slice, ra, rb Run) {
 // ⌈log₂ k⌉ comparisons per extracted record — the standard structure for
 // external-memory merge stages. The run count is padded to a power of two
 // with permanently exhausted dummy runs so the tree is perfect and the
-// leaf-to-parent arithmetic stays trivial. The next/node arrays are
-// caller-supplied (a Scratch lends its reusable buffers) so that a merge
-// stage allocates nothing in steady state.
+// leaf-to-parent arithmetic stays trivial. All arrays are caller-supplied
+// (a Scratch lends its reusable buffers) so that a merge stage allocates
+// nothing in steady state.
+//
+// Each node carries the loser's current 8-byte key prefix INLINE next to
+// its run id, loaded once each time a run's front advances, and exhausted
+// runs carry the maximal key. The common-case match is then one 16-byte
+// node load and one uint64 compare — no pointer-chased record loads from a
+// buffer arbitrarily larger than cache, no per-run indirection. Only key
+// ties (including the genuine-maximal-key vs exhausted ambiguity) fall
+// back to the rem/pos arrays and the record bytes. This is what keeps wide
+// merges (k = 64) near the throughput of narrow ones.
 type loserTree struct {
 	src  record.Slice
-	runs []Run
-	next []int // next index within each run (all zero on init)
-	node []int // node[i≥1] = run id of the loser at internal node i; node[0] = winner
-	k    int   // padded (power-of-two) leaf count
+	node []treeNode  // node[i≥1] = loser at internal node i; node[0] = winner
+	cur  []runCursor // per-run cursor (position, remaining, stride)
+	k    int         // padded (power-of-two) leaf count
 }
 
-// init wires the tree onto the given state; next must be zeroed and node
-// must have length k (the power of two ≥ len(runs)).
-func (t *loserTree) init(src record.Slice, runs []Run, next, node []int, k int) {
-	t.src, t.runs, t.next, t.node, t.k = src, runs, next, node, k
+// treeNode is one tournament entry: a run id and its current key prefix
+// (record.MaxKey once the run is exhausted).
+type treeNode struct {
+	key uint64
+	id  int32
+}
+
+// runCursor is one run's live state, packed into 16 bytes so a pop touches
+// a single cache line of cursor state.
+type runCursor struct {
+	pos    int32 // current source position (records)
+	rem    int32 // records remaining; 0 = exhausted (padding runs stay 0)
+	stride int32 // cursor advance per pop
+}
+
+// init wires the tree onto the given state: node and cur must have length k
+// (the power of two ≥ len(runs)).
+func (t *loserTree) init(src record.Slice, runs []Run, node []treeNode, cur []runCursor, k int) {
+	t.src, t.node, t.cur, t.k = src, node, cur, k
+	for r := 0; r < k; r++ {
+		t.cur[r] = runCursor{}
+	}
+	for r := range runs {
+		if runs[r].Count == 0 {
+			continue
+		}
+		t.cur[r] = runCursor{
+			pos:    int32(runs[r].Start),
+			rem:    int32(runs[r].Count),
+			stride: int32(runs[r].Stride),
+		}
+	}
 	// Full tournament initialization: internal node i has children 2i and
-	// 2i+1; leaves are node indices k..2k-1 standing for runs 0..k-1.
+	// 2i+1; leaves are node indices k..2k-1 standing for runs 0..k-1
+	// (padding leaves are permanently exhausted runs).
 	t.node[0] = t.play(1)
 }
 
 // play recursively resolves the initial tournament below internal node i,
-// storing losers and returning the winner run id.
-func (t *loserTree) play(i int) int {
+// storing losers and returning the winning entry.
+func (t *loserTree) play(i int) treeNode {
 	if i >= t.k {
-		r := i - t.k
-		if r >= len(t.runs) {
-			return -1 // padding leaf: permanently exhausted
+		r := int32(i - t.k)
+		if t.cur[r].rem == 0 {
+			return treeNode{key: record.MaxKey, id: r}
 		}
-		return r
+		return treeNode{key: t.src.Key(int(t.cur[r].pos)), id: r}
 	}
 	wl, wr := t.play(2*i), t.play(2*i+1)
 	if t.beats(wl, wr) {
@@ -186,55 +223,78 @@ func (t *loserTree) play(i int) int {
 	return wr
 }
 
-// cur returns the source position of run r's current record, or -1 if the
-// run is exhausted.
-func (t *loserTree) cur(r int) int {
-	if r < 0 || t.next[r] >= t.runs[r].Count {
-		return -1
+// beats reports whether entry a's current record should be emitted before
+// entry b's: by cached key prefix, with ties resolved by tieBeats.
+func (t *loserTree) beats(a, b treeNode) bool {
+	if a.key != b.key {
+		return a.key < b.key
 	}
-	return t.runs[r].Start + t.next[r]*t.runs[r].Stride
+	return t.tieBeats(a.id, b.id)
 }
 
-// beats reports whether run a's current record should be emitted before run
-// b's. Exhausted runs lose to everything; ties break on run id for
-// determinism.
-func (t *loserTree) beats(a, b int) bool {
-	pa, pb := t.cur(a), t.cur(b)
-	switch {
-	case pa < 0:
+// tieBeats resolves a key-prefix tie between runs o and w: exhausted runs
+// lose to everything (an exhausted run's sentinel key can tie a live
+// maximal record, so liveness is re-checked here), live ties compare the
+// full records, and exact duplicates break on run id for determinism.
+func (t *loserTree) tieBeats(o, w int32) bool {
+	co, cw := t.cur[o], t.cur[w]
+	if co.rem == 0 {
 		return false
-	case pb < 0:
+	}
+	if cw.rem == 0 {
 		return true
 	}
-	c := record.Compare(t.src, pa, t.src, pb)
+	c := record.Compare(t.src, int(co.pos), t.src, int(cw.pos))
 	if c != 0 {
 		return c < 0
 	}
-	return a < b
+	return o < w
 }
 
-// replay pushes run r up from its leaf after its front record changed,
-// swapping with stored losers that now beat it, and records the new winner.
-func (t *loserTree) replay(r int) {
-	winner := r
-	for i := (r + t.k) / 2; i > 0; i /= 2 {
-		if t.beats(t.node[i], winner) {
-			t.node[i], winner = winner, t.node[i]
+// replay pushes run w up from its leaf after its front record changed to
+// wKey, swapping with stored losers that now beat it, and records the new
+// winner. Each match is one node load and one uint64 compare; the swap is
+// written branchlessly (the loser is stored unconditionally, the winner
+// selected by conditional moves) because match outcomes on random data are
+// inherently unpredictable and a mispredicted swap branch would dominate
+// the compare itself.
+func (t *loserTree) replay(w int32, wKey uint64) {
+	node := t.node
+	wk, wid := wKey, w
+	for i := (int(w) + t.k) >> 1; i > 0; i >>= 1 {
+		o := node[i]
+		oBeats := o.key < wk
+		if o.key == wk { // rare: prefix tie (or both exhausted)
+			oBeats = t.tieBeats(o.id, wid)
 		}
+		lk, lid := o.key, o.id
+		if oBeats {
+			lk, lid = wk, wid
+			wk, wid = o.key, o.id
+		}
+		node[i] = treeNode{key: lk, id: lid}
 	}
-	t.node[0] = winner
+	node[0] = treeNode{key: wk, id: wid}
 }
 
 // pop returns the source position of the next record in merge order and
-// advances its run. Calling pop more times than there are records panics.
+// advances its run (reloading its cached key). Calling pop more times than
+// there are records panics.
 func (t *loserTree) pop() int {
-	w := t.node[0]
-	p := t.cur(w)
-	if p < 0 {
+	w := t.node[0].id
+	c := &t.cur[w]
+	if c.rem == 0 {
 		panic("sortalg: loser tree exhausted")
 	}
-	t.next[w]++
-	t.replay(w)
+	p := int(c.pos)
+	c.rem--
+	key := record.MaxKey
+	if c.rem > 0 {
+		np := p + int(c.stride)
+		c.pos = int32(np)
+		key = t.src.Key(np)
+	}
+	t.replay(w, key)
 	return p
 }
 

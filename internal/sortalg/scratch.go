@@ -16,11 +16,11 @@ import "colsort/internal/record"
 //
 // The zero value is ready to use.
 type Scratch struct {
-	kvs   []kv  // (key, index) pairs of the buffer being sorted
-	tmp   []kv  // radix ping-pong buffer
-	count []int // radix digit histogram (radixBuckets wide)
-	next  []int // loser tree: next index within each run
-	node  []int // loser tree: internal nodes
+	kvs   []kv        // (key, index) pairs of the buffer being sorted
+	tmp   []kv        // radix ping-pong buffer
+	count []int       // radix digit histogram (radixBuckets wide)
+	node  []treeNode  // loser tree: internal nodes (key + run id)
+	cur   []runCursor // loser tree: per-run cursors
 }
 
 func (sc *Scratch) kvBuf(n int) []kv {
@@ -37,18 +37,13 @@ func (sc *Scratch) tmpBuf(n int) []kv {
 	return sc.tmp[:n]
 }
 
-func (sc *Scratch) intBufs(nRuns, nNodes int) (next, node []int) {
-	if cap(sc.next) < nRuns {
-		sc.next = make([]int, nRuns)
+// treeBufs lends the loser tree its two k-wide state arrays.
+func (sc *Scratch) treeBufs(k int) (node []treeNode, cur []runCursor) {
+	if cap(sc.node) < k {
+		sc.node = make([]treeNode, k)
+		sc.cur = make([]runCursor, k)
 	}
-	if cap(sc.node) < nNodes {
-		sc.node = make([]int, nNodes)
-	}
-	next, node = sc.next[:nRuns], sc.node[:nNodes]
-	for i := range next {
-		next[i] = 0
-	}
-	return next, node
+	return sc.node[:k], sc.cur[:k]
 }
 
 // SortInto sorts the records of src into dst using introsort, reusing the
@@ -115,9 +110,9 @@ func (sc *Scratch) MergeRunsInto(dst, src record.Slice, runs []Run) {
 	for k < len(runs) {
 		k *= 2
 	}
-	next, node := sc.intBufs(len(runs), k)
+	node, cur := sc.treeBufs(k)
 	var t loserTree
-	t.init(src, runs, next, node, k)
+	t.init(src, runs, node, cur, k)
 	for i := 0; i < total; i++ {
 		dst.CopyRecord(i, src, t.pop())
 	}

@@ -7,6 +7,12 @@
 #   scripts/bench.sh [OUTFILE]      # default OUTFILE: next free BENCH_n.json
 #   BENCHTIME=10x scripts/bench.sh  # override -benchtime (default 3x)
 #   BENCH='^BenchmarkLocalSort$' scripts/bench.sh   # override the selector
+#   COLSORT_BENCH_PROFILE=1 scripts/bench.sh        # also write pprof files
+#
+# With COLSORT_BENCH_PROFILE=1 the run additionally writes CPU and memory
+# profiles next to OUTFILE (OUTFILE minus .json, plus .cpu.prof/.mem.prof),
+# so a perf PR can attach flame-graph evidence for the numbers it claims:
+#   go tool pprof -http=: BENCH_4.cpu.prof
 #
 # Portability: plain POSIX sh and BSD-compatible awk, so it runs unchanged
 # on macOS CI (bash 3.2 / BSD userland) — no pipefail, no bash arrays, and
@@ -34,7 +40,17 @@ BENCH="${BENCH:-^(BenchmarkLocalSort|BenchmarkMergeRuns|BenchmarkE6InCore|Benchm
 RAW=$(mktemp "${TMPDIR:-/tmp}/bench.XXXXXX")
 trap 'rm -f "$RAW"' EXIT INT TERM
 
-go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count 1 . >"$RAW"
+# Profile passthrough: pprof files land next to the JSON so flame graphs and
+# the numbers they explain travel together.
+PROFILE_FLAGS=""
+if [ "${COLSORT_BENCH_PROFILE:-0}" = "1" ]; then
+	base=${OUT%.json}
+	PROFILE_FLAGS="-cpuprofile $base.cpu.prof -memprofile $base.mem.prof"
+	echo "profiling to $base.cpu.prof / $base.mem.prof" >&2
+fi
+
+# shellcheck disable=SC2086 # PROFILE_FLAGS intentionally word-splits
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count 1 $PROFILE_FLAGS . >"$RAW"
 cat "$RAW" >&2
 
 awk -v goversion="$(go env GOVERSION)" -v benchtime="$BENCHTIME" '

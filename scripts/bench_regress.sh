@@ -1,0 +1,80 @@
+#!/bin/sh
+# bench_regress.sh — statistical old-vs-new benchmark gate.
+#
+# Checks the BASE ref out into a temporary git worktree, runs the benchmark
+# selector there and on the current tree with -count repetitions, and feeds
+# both logs to benchstat. The gate FAILS on any statistically significant
+# time regression: a sec/op delta worse than THRESHOLD_PCT with
+# p ≤ PVALUE. This replaces gating on allocs/op alone — ns/op is noisy per
+# single run, but benchstat's significance test across counted repetitions
+# is exactly the instrument for "did this PR slow the hot path down".
+#
+# Usage: scripts/bench_regress.sh [BASE_REF]
+#   BASE_REF        defaults to $BASE_REF or origin/main
+#   THRESHOLD_PCT   significant regressions smaller than this pass (def 10)
+#   PVALUE          significance level (default 0.05)
+#   COUNT           benchmark repetitions per side (default 6)
+#   BENCHTIME, BENCH  as in bench.sh (default 3x, the smoke selector)
+#
+# Artifacts: bench-old.txt, bench-new.txt, bench-stat.txt in the repo root.
+set -eu
+cd "$(dirname "$0")/.."
+
+BASE="${1:-${BASE_REF:-origin/main}}"
+THRESHOLD_PCT="${THRESHOLD_PCT:-10}"
+PVALUE="${PVALUE:-0.05}"
+COUNT="${COUNT:-6}"
+BENCHTIME="${BENCHTIME:-3x}"
+BENCH="${BENCH:-^(BenchmarkLocalSort|BenchmarkMergeRuns|BenchmarkFigure2)$}"
+
+WT=$(mktemp -d "${TMPDIR:-/tmp}/bench-base.XXXXXX")
+cleanup() {
+	git worktree remove --force "$WT" 2>/dev/null || true
+	rm -rf "$WT"
+}
+trap cleanup EXIT INT TERM
+git worktree add --force --detach "$WT" "$BASE" >&2
+
+echo "bench_regress: old = $BASE, new = working tree" >&2
+(cd "$WT" && go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" .) >bench-old.txt
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" -count "$COUNT" . >bench-new.txt
+
+# No pipeline around benchstat: the gate must fail CLOSED when benchstat
+# itself fails (module proxy down, bad toolchain), not let tee's status
+# mask it. BENCHSTAT_VERSION lets CI pin an exact pseudo-version.
+BENCHSTAT="golang.org/x/perf/cmd/benchstat@${BENCHSTAT_VERSION:-latest}"
+go run "$BENCHSTAT" bench-old.txt bench-new.txt >bench-stat.txt
+cat bench-stat.txt
+
+# Gate on the sec/op table only: a line whose "vs base" column shows a
+# positive (slower) delta with p at or below PVALUE and a magnitude past
+# THRESHOLD_PCT fails. benchstat prints "~" for insignificant deltas, so
+# noise never trips the gate; B/op and allocs/op tables are informational.
+# Seeing NO sec/op table at all also fails — an empty or reformatted
+# benchstat output must never pass as "no regression".
+awk -v threshold="$THRESHOLD_PCT" -v pmax="$PVALUE" '
+/│/ {
+	insec = ($0 ~ /sec\/op/)
+	if (insec) sawsec = 1
+	next
+}
+insec && !/geomean/ && match($0, /\+[0-9.]+% \(p=[0-9.]+/) {
+	s = substr($0, RSTART, RLENGTH)
+	pct = s; sub(/^\+/, "", pct); sub(/%.*/, "", pct)
+	p = s; sub(/.*p=/, "", p)
+	if (pct + 0 >= threshold && p + 0 <= pmax) {
+		printf "REGRESSION (sec/op): %s\n", $0
+		fail = 1
+	}
+}
+END {
+	if (!sawsec) {
+		print "bench_regress: no sec/op table in benchstat output — refusing to pass"
+		exit 1
+	}
+	if (fail) {
+		print "bench_regress: statistically significant time regression"
+		exit 1
+	}
+	print "bench_regress: no significant sec/op regression"
+}' bench-stat.txt >&2

@@ -89,7 +89,7 @@ func (s *Sorter) Sort(ctx context.Context, src Source, dst Sink, opts ...Option)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Run(ctx, pl, s.m, input, core.Hooks{Progress: o.progress})
+	res, err := core.Run(ctx, pl, s.machineFor(o), input, core.Hooks{Progress: o.progress})
 	if ownInput {
 		input.Close()
 	}
@@ -113,6 +113,14 @@ func (s *Sorter) Sort(ctx context.Context, src Source, dst Sink, opts ...Option)
 		}
 	}
 	return out, nil
+}
+
+// machineFor applies per-sort machine options: the interconnect fabric
+// choice rides on the (value-copied) machine, sharing its pools and disks.
+func (s *Sorter) machineFor(o sortOptions) pdm.Machine {
+	m := s.m
+	m.CopyFabric = o.fabric == FabricCopying
+	return m
 }
 
 // planOpts turns the options into a validated plan for n records.
