@@ -29,6 +29,13 @@
 // -max-memory-mib cap — sort hierarchically: bounded runs, each a full
 // columnsort, streamed through a loser-tree k-way merge (-merge-fanin) into
 // the output file.
+//
+// Every sort retries transient disk faults under bounded backoff and
+// CRC32C-frames its spilled runs; -retries, -retry-base-us, -redo-budget and
+// -scrub tune the policy (see DESIGN.md §9). The -chaos-* flags inject
+// seeded storage faults — transient errors, bit flips, torn writes, a dying
+// spill disk — to exercise those layers; a chaos run prints its seed, and
+// COLSORT_CHAOS_SEED (or -chaos-seed) replays it.
 package main
 
 import (
@@ -38,6 +45,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
@@ -65,6 +73,18 @@ func main() {
 	outPath := flag.String("out", "", "write the sorted records to this file (requires -in)")
 	maxMemMiB := flag.Int64("max-memory-mib", 0, "cap one columnsort run at this many MiB of records; inputs above the cap (or the algorithm's bound) sort as runs + k-way merge (0: bound only)")
 	mergeFanIn := flag.Int("merge-fanin", 0, "maximum runs merged at once on the hierarchical path (0: default 16)")
+	retries := flag.Int("retries", 0, "fault tolerance: attempts per disk operation before a transient fault escapes (0: default 4; 1 disables retries)")
+	retryBaseUS := flag.Int("retry-base-us", 0, "fault tolerance: first backoff delay in microseconds, doubling per attempt (0: default 200)")
+	redoBudget := flag.Int("redo-budget", 0, "fault tolerance: hierarchical batches that may be re-sorted and re-spilled (0: default 2; negative disables)")
+	scrub := flag.Bool("scrub", false, "fault tolerance: CRC-read every spilled run back after writing it (always on under -chaos-*)")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "chaos: fault-injection seed (0: $COLSORT_CHAOS_SEED, else 1)")
+	chaosPTransient := flag.Float64("chaos-p-transient", 0, "chaos: per-operation probability of a transient disk fault")
+	chaosPBitFlip := flag.Float64("chaos-p-bitflip", 0, "chaos: per-read probability of silently flipping one bit")
+	chaosPTorn := flag.Float64("chaos-p-torn", 0, "chaos: per-write probability of a silent torn write")
+	chaosTornSpill := flag.Int("chaos-torn-spill", 0, "chaos: tear the first write of the Nth spill disk (0: off)")
+	chaosFlipSpill := flag.Int("chaos-flip-spill", 0, "chaos: flip one bit of the first read of the Nth spill disk (0: off)")
+	chaosDeadSpill := flag.Int("chaos-dead-spill", 0, "chaos: permanently fail the Nth spill disk after -chaos-dead-after-kib (0: off)")
+	chaosDeadAfterKiB := flag.Int64("chaos-dead-after-kib", 0, "chaos: write traffic in KiB the -chaos-dead-spill disk survives")
 	keyOffset := flag.Int("key-offset", 0, "byte offset of the sort key field within each record")
 	keyWidth := flag.Int("key-width", 0, "byte width of the sort key field (0: 8)")
 	desc := flag.Bool("desc", false, "sort the key field in descending order")
@@ -87,11 +107,40 @@ func main() {
 		os.Exit(2)
 	}
 
-	sorter, err := colsort.New(colsort.Config{
+	cfg := colsort.Config{
 		Procs: *p, Disks: *d, MemPerProc: *mem, RecordSize: *z, Dir: *dir,
 		Async: *async, ReadAhead: *readahead, WriteBehind: *writebehind,
 		DiskSeekMicros: *diskSeekUS, DiskMBps: *diskMBps,
-	})
+	}
+	if *chaosPTransient > 0 || *chaosPBitFlip > 0 || *chaosPTorn > 0 ||
+		*chaosTornSpill > 0 || *chaosFlipSpill > 0 || *chaosDeadSpill > 0 {
+		seed := *chaosSeed
+		if seed == 0 {
+			if env := os.Getenv("COLSORT_CHAOS_SEED"); env != "" {
+				s, err := strconv.ParseUint(env, 10, 64)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bad COLSORT_CHAOS_SEED %q: %v\n", env, err)
+					os.Exit(2)
+				}
+				seed = s
+			} else {
+				seed = 1
+			}
+		}
+		cfg.Chaos = &colsort.ChaosConfig{
+			Seed:           seed,
+			PTransient:     *chaosPTransient,
+			PBitFlip:       *chaosPBitFlip,
+			PTorn:          *chaosPTorn,
+			TornSpillWrite: *chaosTornSpill,
+			FlipSpillRead:  *chaosFlipSpill,
+			DeadSpillDisk:  *chaosDeadSpill,
+			DeadSpillAfter: *chaosDeadAfterKiB << 10,
+		}
+		// Always print the seed: a failing chaos run must be replayable.
+		fmt.Fprintf(os.Stderr, "chaos: fault injection enabled, seed %d\n", seed)
+	}
+	sorter, err := colsort.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -111,6 +160,14 @@ func main() {
 	}
 	if *mergeFanIn > 0 {
 		opts = append(opts, colsort.WithMergeFanIn(*mergeFanIn))
+	}
+	if *retries != 0 || *retryBaseUS != 0 || *redoBudget != 0 || *scrub {
+		opts = append(opts, colsort.WithRetry(colsort.RetryPolicy{
+			MaxAttempts: *retries,
+			BaseDelay:   time.Duration(*retryBaseUS) * time.Microsecond,
+			RedoBudget:  *redoBudget,
+			Scrub:       *scrub,
+		}))
 	}
 	if *keyOffset != 0 || *keyWidth != 0 || *desc {
 		ks := colsort.KeySpec{Offset: *keyOffset, Width: *keyWidth}
@@ -280,6 +337,10 @@ func report(res *colsort.Result, wall time.Duration) {
 		tot.NetBytes>>20, tot.NetMsgs, tot.LocalMsgs)
 	fmt.Printf("cpu:   %d M compare-units, %d MiB moved\n",
 		tot.CompareUnits>>20, tot.MovedBytes>>20)
+	if f := res.Faults; f.Any() {
+		fmt.Printf("faults: %d transient retried (%d gave up), %d corrupt chunks (%d healed by reread), %d batch redos\n",
+			f.DiskRetries, f.DiskGiveUps, f.CorruptChunks, f.ChunkRereads, f.BatchRedos)
+	}
 
 	est := res.EstimateBeowulf()
 	fmt.Println("estimated on the paper's Beowulf testbed:")

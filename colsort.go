@@ -108,12 +108,50 @@ type Config struct {
 	// layer, so prefetch and write-behind genuinely overlap it.
 	DiskSeekMicros int
 	DiskMBps       int
+	// Chaos, when non-nil, injects seeded storage faults under every disk
+	// (below the retry layer): transient read/write errors, silent
+	// bit-flip and torn-write corruption, and scripted permanent spill
+	// disk death. It exists to exercise the fault-tolerance layers —
+	// production configurations leave it nil. See DESIGN.md §9.
+	Chaos *ChaosConfig
+}
+
+// ChaosConfig configures the seeded storage-fault injection harness; see
+// Config.Chaos. The same Seed over the same workload reproduces the same
+// fault pattern (the chaos soak prints the seed of a failing run so it can
+// be replayed via COLSORT_CHAOS_SEED).
+type ChaosConfig struct {
+	// Seed drives every probabilistic draw.
+	Seed uint64
+	// PTransient is the per-operation probability of a transient fault on
+	// reads and writes — healed by the retry policy (see WithRetry).
+	PTransient float64
+	// PBitFlip is the per-read probability of silently flipping one bit
+	// of the returned data; only integrity checks can notice.
+	PBitFlip float64
+	// PTorn is the per-write probability of a silent torn write: only a
+	// prefix of the buffer persists and no error is reported.
+	PTorn float64
+	// Scripted faults, keyed by 1-based spill-disk ordinal (0 disables):
+	// TornSpillWrite tears that spill disk's first write (caught by the
+	// post-spill scrub, driving a batch redo); FlipSpillRead flips one bit
+	// of that spill disk's first read (caught by the merge's CRC check and
+	// healed by a reread); DeadSpillDisk permanently fails that spill disk
+	// once DeadSpillAfter bytes have been written to it (driving a batch
+	// redo onto a fresh disk).
+	TornSpillWrite int
+	FlipSpillRead  int
+	DeadSpillDisk  int
+	DeadSpillAfter int64
 }
 
 // Sorter is a configured out-of-core sorting engine.
 type Sorter struct {
 	cfg Config
 	m   pdm.Machine
+	// faults accumulates the fault-tolerance layers' counters across the
+	// Sorter's lifetime; each Sort reports its own delta in Result.Faults.
+	faults pdm.FaultStats
 }
 
 // New validates the configuration and builds a Sorter.
@@ -136,6 +174,18 @@ func New(cfg Config) (*Sorter, error) {
 		m.Delay = &pdm.DelayConfig{
 			Seek:        time.Duration(cfg.DiskSeekMicros) * time.Microsecond,
 			BytesPerSec: int64(cfg.DiskMBps) << 20,
+		}
+	}
+	if cfg.Chaos != nil {
+		m.Chaos = &pdm.ChaosConfig{
+			Seed:           cfg.Chaos.Seed,
+			PTransient:     cfg.Chaos.PTransient,
+			PBitFlip:       cfg.Chaos.PBitFlip,
+			PTorn:          cfg.Chaos.PTorn,
+			TornSpillWrite: cfg.Chaos.TornSpillWrite,
+			FlipSpillRead:  cfg.Chaos.FlipSpillRead,
+			DeadSpillDisk:  cfg.Chaos.DeadSpillDisk,
+			DeadSpillAfter: cfg.Chaos.DeadSpillAfter,
 		}
 	}
 	probe, err := m.NewArrays()
@@ -194,6 +244,13 @@ type Result struct {
 	// in its normalized key space, and every egress path decodes through
 	// it. The zero codec is the identity (native key layout).
 	codec record.KeyCodec
+	// Faults reports what the fault-tolerance layers absorbed or detected
+	// during this sort: all zero on a healthy run. Any non-zero field means
+	// the storage stack misbehaved and the sort recovered (the output is
+	// verified either way); DiskGiveUps > 0 means some transient faults
+	// exhausted the retry budget (the sort failed unless a batch redo
+	// covered them).
+	Faults FaultStats
 	// Merge, non-nil after a hierarchical (above-bound) sort, reports the
 	// run-formation and merge statistics. Hierarchical results have a nil
 	// Output — the sorted records were streamed to the Sink, verified on
@@ -203,6 +260,35 @@ type Result struct {
 	// only: the merge's own spill and sink traffic lives outside the cost
 	// model and is reported here in BytesRead/BytesWritten.
 	Merge *MergeStats
+}
+
+// FaultStats reports the fault-tolerance activity of one sort; see
+// Result.Faults and DESIGN.md §9 for the failure model.
+type FaultStats struct {
+	DiskRetries   int64 // transient disk faults healed by retry
+	DiskGiveUps   int64 // transient faults that exhausted the retry budget
+	CorruptChunks int64 // spill-run chunks that failed CRC32C verification
+	ChunkRereads  int64 // corrupt chunks healed by an invalidate-and-reread
+	BatchRedos    int64 // run-formation batches re-sorted and re-spilled
+}
+
+// Any reports whether any fault-tolerance machinery fired.
+func (f FaultStats) Any() bool {
+	return f != FaultStats{}
+}
+
+// TotalCounters sums all passes and processors, folding the sort's
+// fault-tolerance activity (Result.Faults) into the counters' fault fields —
+// the engine's per-pass counters cannot carry those, because retries and
+// redos happen outside any single processor's accounting.
+func (r *Result) TotalCounters() sim.Counters {
+	c := r.Result.TotalCounters()
+	c.DiskRetries += r.Faults.DiskRetries
+	c.DiskGiveUps += r.Faults.DiskGiveUps
+	c.CorruptChunks += r.Faults.CorruptChunks
+	c.ChunkRereads += r.Faults.ChunkRereads
+	c.BatchRedos += r.Faults.BatchRedos
+	return c
 }
 
 // MergeStats describes the hierarchical execution of an above-bound sort:

@@ -29,6 +29,12 @@ import (
 // level, narrow enough that the read streams' prefetch buffers stay small.
 const defaultMergeFanIn = 16
 
+// defaultRedoBudget is how many batch redos a hierarchical sort may spend
+// when RetryPolicy does not set one: enough to survive a failed spill disk
+// plus one unlucky verification, small enough that a systematically failing
+// storage stack still fails the sort promptly.
+const defaultRedoBudget = 2
+
 // wantHierarchical decides whether this Sort must take the hierarchical
 // (runs + merge) path: the record count exceeds the algorithm's single-run
 // problem-size bound, or a WithMaxMemory cap forces smaller runs. Hybrid
@@ -121,9 +127,9 @@ func (s *Sorter) PlanHierarchical(alg Algorithm, n int64, maxMemory int64) (runP
 }
 
 // sortHierarchical executes the runs-plus-merge plan for n records arriving
-// on rd. The caller has already compiled the codec and validated the
-// options; rd is closed by Sort's defer.
-func (s *Sorter) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink, o sortOptions, codec record.KeyCodec, n int64) (*Result, error) {
+// on rd, on the per-sort machine m. The caller has already compiled the
+// codec and validated the options; rd is closed by Sort's defer.
+func (s *Sorter) sortHierarchical(ctx context.Context, m pdm.Machine, rd RecordReader, dst Sink, o sortOptions, codec record.KeyCodec, n int64) (*Result, error) {
 	if dst == nil {
 		// Wrap ErrTooLarge: callers branching on the sentinel (the legacy
 		// above-bound failure mode) must keep matching when the only thing
@@ -142,7 +148,25 @@ func (s *Sorter) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink
 	nBatches := int((n + runPl.N - 1) / runPl.N)
 	stats := &MergeStats{FanIn: fanIn, RunRecords: runPl.N}
 
-	br, err := core.NewBatchRunner(ctx, runPl, s.machineFor(o))
+	// Recovery policy: how many whole batches may be re-sorted and
+	// re-spilled, and whether every spilled run gets a post-spill CRC
+	// readback. The scrub is always on under chaos injection (the only way
+	// a torn spill write is caught while its batch can still be redone) and
+	// opt-in otherwise — on healthy storage it costs one extra sequential
+	// read of every spilled byte to detect nothing.
+	redoBudget := defaultRedoBudget
+	scrub := m.Chaos != nil
+	if o.retry != nil {
+		if o.retry.RedoBudget != 0 {
+			redoBudget = o.retry.RedoBudget
+		}
+		if redoBudget < 0 {
+			redoBudget = 0
+		}
+		scrub = scrub || o.retry.Scrub
+	}
+
+	br, err := core.NewBatchRunner(ctx, runPl, m)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +174,7 @@ func (s *Sorter) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink
 
 	spillSeq := 0
 	newSpill := func() (pdm.Disk, error) {
-		d, err := s.m.NewSpillDisk(spillSeq)
+		d, err := m.NewSpillDisk(spillSeq)
 		spillSeq++
 		return d, err
 	}
@@ -178,7 +202,7 @@ func (s *Sorter) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink
 			real = runPl.N
 		}
 		remaining -= real
-		input, err := runPl.NewStore(s.m)
+		input, err := runPl.NewStore(m)
 		if err != nil {
 			return nil, err
 		}
@@ -196,28 +220,9 @@ func (s *Sorter) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink
 				fn(ev)
 			}
 		}
-		res, err := br.Run(input, hooks)
+		run, err := s.formRun(ctx, br, input, hooks, real, cs, newSpill, chunk,
+			scrub, redoBudget, &passCnts, b+1, nBatches)
 		input.Close()
-		if err != nil {
-			return nil, err
-		}
-		if passCnts == nil {
-			passCnts = res.PassCounters
-		} else {
-			for k := range passCnts {
-				for p := range passCnts[k] {
-					passCnts[k][p].Add(res.PassCounters[k][p])
-				}
-			}
-		}
-		// Verify BEFORE trusting the run to the merge: a failed batch must
-		// never contribute a plausible-looking run.
-		if err := verifyRunStore(res.Output, real, cs); err != nil {
-			res.Output.Close()
-			return nil, fmt.Errorf("colsort: run %d of %d failed verification: %w", b+1, nBatches, err)
-		}
-		run, err := spillRun(ctx, res.Output, real, newSpill, chunk)
-		res.Output.Close()
 		if err != nil {
 			return nil, err
 		}
@@ -228,8 +233,10 @@ func (s *Sorter) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink
 	br.Close() // run formation done: release the fabric before merging
 
 	// Merge tree: reduce the run set level by level until one merge fans
-	// into the sink.
-	opt := merge.Options{ChunkRecs: chunk}
+	// into the sink. The merges verify every CRC frame they load, healing
+	// transient read corruption with a reread and counting both into the
+	// sort's fault stats.
+	opt := merge.Options{ChunkRecs: chunk, Faults: &s.faults}
 	for len(live) > fanIn {
 		stats.Levels++
 		next := make([]*merge.Run, 0, (len(live)+fanIn-1)/fanIn)
@@ -306,6 +313,74 @@ func (s *Sorter) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink
 		codec:  codec,
 		Merge:  stats,
 	}, nil
+}
+
+// formRun turns one ingested batch into a verified, CRC-framed spilled run,
+// redoing the WHOLE batch — re-sort on the persistent fabric, re-verify,
+// re-spill onto a fresh spill disk — when the run cannot be trusted: the
+// sorted store fails verification (e.g. a bit flip on an input-store read),
+// the spill disk fails permanently mid-write, or the post-spill scrub finds
+// persistent corruption (a torn write). Each redo consumes one unit of
+// redoBudget; batch-level redo is what makes those failures survivable at
+// all, because the source stream that fed the batch is long gone — only the
+// batch's input store (preserved by br.Run across attempts) still holds the
+// records.
+//
+// An error from br.Run itself is terminal, not redone: a failed engine
+// batch poisons the fabric, and every later Run would return the fabric's
+// error anyway. Counters of every attempt accumulate into passCnts — redone
+// work is still work performed.
+func (s *Sorter) formRun(ctx context.Context, br *core.BatchRunner, input *pdm.Store, hooks core.Hooks, real int64, cs record.Checksum, newSpill func() (pdm.Disk, error), chunk int, scrub bool, redoBudget int, passCnts *[][]sim.Counters, batch, batches int) (*merge.Run, error) {
+	for attempt := 0; ; attempt++ {
+		res, err := br.Run(input, hooks)
+		if err != nil {
+			return nil, err
+		}
+		if *passCnts == nil {
+			*passCnts = res.PassCounters
+		} else {
+			for k := range *passCnts {
+				for p := range (*passCnts)[k] {
+					(*passCnts)[k][p].Add(res.PassCounters[k][p])
+				}
+			}
+		}
+		run, ferr := func() (*merge.Run, error) {
+			// Verify BEFORE trusting the run to the merge: a failed batch
+			// must never contribute a plausible-looking run.
+			if err := verifyRunStore(res.Output, real, cs); err != nil {
+				return nil, fmt.Errorf("run %d of %d failed verification: %w", batch, batches, err)
+			}
+			r, err := spillRun(ctx, res.Output, real, newSpill, chunk)
+			if err != nil {
+				return nil, fmt.Errorf("run %d of %d: %w", batch, batches, err)
+			}
+			if scrub {
+				// Read the spilled bytes back against their CRC frames NOW,
+				// while the batch can still be redone — at merge time the
+				// input is gone and persistent spill corruption is fatal.
+				if err := r.Scrub(ctx, &s.faults); err != nil {
+					r.Close()
+					return nil, fmt.Errorf("run %d of %d: %w", batch, batches, err)
+				}
+			}
+			return r, nil
+		}()
+		res.Output.Close()
+		if ferr == nil {
+			return run, nil
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("colsort: %w", ferr)
+		}
+		if attempt >= redoBudget {
+			if redoBudget > 0 {
+				return nil, fmt.Errorf("colsort: redo budget (%d) exhausted: %w", redoBudget, ferr)
+			}
+			return nil, fmt.Errorf("colsort: %w", ferr)
+		}
+		s.faults.BatchRedos.Add(1)
+	}
 }
 
 // verifyRunStore applies the engine's output verification to one run store

@@ -15,6 +15,11 @@ import (
 // verification caught a record smaller than its predecessor in the output.
 var ErrOrder = errors.New("merge: output order violated (corrupt run)")
 
+// ErrCorrupt reports a CRC-framed run chunk whose bytes no longer match the
+// checksum recorded when the run was written — and still don't after one
+// direct reread. The wrapping error carries the frame index and run offset.
+var ErrCorrupt = errors.New("merge: run chunk failed CRC verification")
+
 // Options tunes one merge.
 type Options struct {
 	// ChunkRecs is the records per emitted chunk and per run-read chunk
@@ -24,6 +29,9 @@ type Options struct {
 	// Progress, when non-nil, receives the cumulative emitted record count
 	// after each chunk. Called from the merge goroutine, sequentially.
 	Progress func(merged int64)
+	// Faults, when non-nil, counts CRC corruption detections and
+	// reread heals observed while loading the input runs.
+	Faults *pdm.FaultStats
 }
 
 // DefaultChunkRecs is the chunk size used when Options does not set one.
@@ -77,6 +85,7 @@ func Merge(ctx context.Context, runs []*Run, emit func(record.Slice) error, opt 
 	readers := make([]*Reader, len(runs))
 	for i, r := range runs {
 		readers[i] = NewReader(r, chunkRecs)
+		readers[i].faults = opt.Faults
 	}
 	for _, rd := range readers {
 		if err := rd.Prime(); err != nil {

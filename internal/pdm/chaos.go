@@ -1,0 +1,172 @@
+package pdm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ChaosDisk is the seeded fault-injection harness the fault-tolerance
+// layers are tested against — FaultDisk's byte-budget trip wire grown into
+// a storage-failure model:
+//
+//   - probabilistic TRANSIENT faults on reads and writes (classified
+//     MarkTransient, so RetryDisk above heals them);
+//   - silent BIT-FLIP corruption of read data (bit rot / in-flight
+//     corruption: no error is reported — only the CRC frames of the merge
+//     layer can catch it);
+//   - silent TORN writes (a crash mid-write: only a prefix persists, no
+//     error — caught by the spill scrub's CRC readback);
+//   - scripted PERMANENT death of a chosen spill disk after a byte budget
+//     (classified MarkPermanent: retrying must not help, batch-level
+//     recovery must).
+//
+// All probabilistic draws come from one SplitMix64 stream seeded from
+// (Seed, disk identity), so a fault pattern is reproducible for a given
+// seed and per-disk operation sequence; tests and the nightly soak print
+// the seed on failure for replay (COLSORT_CHAOS_SEED).
+type ChaosDisk struct {
+	inner Disk
+	cfg   ChaosConfig
+	disk  int
+	spill bool
+
+	mu     sync.Mutex
+	rng    uint64
+	wrote  int64 // write traffic seen, for the scripted spill death
+	writes int64 // write ops seen, for the scripted torn write
+	reads  int64 // read ops seen, for the scripted read bit flip
+	dead   bool
+}
+
+// ChaosConfig configures one machine's fault injection. The zero value
+// injects nothing.
+type ChaosConfig struct {
+	// Seed drives every probabilistic draw; the same seed over the same
+	// per-disk operation sequence reproduces the same fault pattern.
+	Seed uint64
+
+	// PTransient is the per-operation probability of a transient injected
+	// fault on reads and writes (healed by RetryDisk's policy).
+	PTransient float64
+	// PBitFlip is the per-read probability of silently flipping one bit of
+	// the returned data (the read succeeds; only integrity checks notice).
+	PBitFlip float64
+	// PTorn is the per-write probability of a silent torn write: only a
+	// prefix of the buffer reaches the disk and no error is reported.
+	PTorn float64
+
+	// Scripted faults, keyed by 1-based spill-disk ordinal (0 disables) —
+	// deterministic triggers for the recovery paths that probabilities
+	// alone cannot target precisely.
+	//
+	// TornSpillWrite tears the first write of that spill disk.
+	TornSpillWrite int
+	// FlipSpillRead silently flips one bit of the first read of that spill
+	// disk — the deterministic trigger for a CRC detection healed by an
+	// invalidate-and-reread (the flip is transient: the disk's bytes are
+	// intact, so the reread returns clean data).
+	FlipSpillRead int
+	// DeadSpillDisk permanently fails that spill disk once its write
+	// traffic reaches DeadSpillAfter bytes.
+	DeadSpillDisk  int
+	DeadSpillAfter int64
+}
+
+// enabled reports whether the configuration can inject anything.
+func (c ChaosConfig) enabled() bool {
+	return c.PTransient > 0 || c.PBitFlip > 0 || c.PTorn > 0 ||
+		c.TornSpillWrite > 0 || c.FlipSpillRead > 0 || c.DeadSpillDisk > 0
+}
+
+// ErrDiskDead is the permanent failure of a chaos-killed disk.
+var ErrDiskDead = errors.New("pdm: disk failed permanently")
+
+// NewChaosDisk wraps inner with the fault model for disk index idx (spill
+// ordinal when spill).
+func NewChaosDisk(inner Disk, cfg ChaosConfig, idx int, spill bool) *ChaosDisk {
+	seed := cfg.Seed ^ (uint64(idx+1) << 1)
+	if spill {
+		seed ^= 0xdead << 40
+	}
+	// One warm-up step decorrelates nearby disk indices.
+	return &ChaosDisk{inner: inner, cfg: cfg, disk: idx, spill: spill, rng: splitmix64(&seed)}
+}
+
+// draw returns a uniform float64 in [0, 1).
+func (d *ChaosDisk) draw() float64 {
+	return float64(splitmix64(&d.rng)>>11) / float64(1<<53)
+}
+
+func (d *ChaosDisk) ReadAt(p []byte, off int64) error {
+	d.mu.Lock()
+	if d.dead {
+		d.mu.Unlock()
+		return MarkPermanent(ErrDiskDead)
+	}
+	if d.cfg.PTransient > 0 && d.draw() < d.cfg.PTransient {
+		d.mu.Unlock()
+		return MarkTransient(fmt.Errorf("chaos: transient read fault: %w", ErrInjected))
+	}
+	d.reads++
+	flip := int64(-1)
+	if len(p) > 0 {
+		if d.spill && d.cfg.FlipSpillRead == d.disk+1 && d.reads == 1 {
+			flip = int64(splitmix64(&d.rng) % uint64(len(p)*8))
+		} else if d.cfg.PBitFlip > 0 && d.draw() < d.cfg.PBitFlip {
+			flip = int64(splitmix64(&d.rng) % uint64(len(p)*8))
+		}
+	}
+	d.mu.Unlock()
+	if err := d.inner.ReadAt(p, off); err != nil {
+		return err
+	}
+	if flip >= 0 {
+		p[flip/8] ^= 1 << (flip % 8)
+	}
+	return nil
+}
+
+func (d *ChaosDisk) WriteAt(p []byte, off int64) error {
+	d.mu.Lock()
+	if d.dead {
+		d.mu.Unlock()
+		return MarkPermanent(ErrDiskDead)
+	}
+	d.writes++
+	d.wrote += int64(len(p))
+	if d.spill && d.cfg.DeadSpillDisk == d.disk+1 && d.wrote >= d.cfg.DeadSpillAfter {
+		d.dead = true
+		d.mu.Unlock()
+		return MarkPermanent(fmt.Errorf("chaos: spill disk %d: %w", d.disk, ErrDiskDead))
+	}
+	torn := d.spill && d.cfg.TornSpillWrite == d.disk+1 && d.writes == 1
+	if !torn && d.cfg.PTorn > 0 && d.draw() < d.cfg.PTorn {
+		torn = true
+	}
+	if !torn && d.cfg.PTransient > 0 && d.draw() < d.cfg.PTransient {
+		d.mu.Unlock()
+		return MarkTransient(fmt.Errorf("chaos: transient write fault: %w", ErrInjected))
+	}
+	d.mu.Unlock()
+	if torn && len(p) > 1 {
+		// A torn write persists only a prefix and reports success — the
+		// crash-consistency failure CRC framing exists to catch.
+		return d.inner.WriteAt(p[:len(p)/2], off)
+	}
+	return d.inner.WriteAt(p, off)
+}
+
+func (d *ChaosDisk) Size() int64 {
+	d.mu.Lock()
+	dead := d.dead
+	d.mu.Unlock()
+	if dead {
+		return 0
+	}
+	return d.inner.Size()
+}
+
+// Close always releases the wrapped disk, even after permanent death —
+// scratch space must not leak because its disk "failed".
+func (d *ChaosDisk) Close() error { return d.inner.Close() }

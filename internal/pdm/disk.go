@@ -13,6 +13,7 @@ package pdm
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync/atomic"
@@ -150,7 +151,9 @@ func (d *FileDisk) ReadAt(p []byte, off int64) error {
 	return nil
 }
 
-func isEOF(err error) bool { return err != nil && err.Error() == "EOF" }
+// isEOF matches io.EOF through any wrapping (a string comparison would
+// misclassify wrapped EOFs, turning a benign short read into a hard error).
+func isEOF(err error) bool { return errors.Is(err, io.EOF) }
 
 // WriteAt writes to the file at the given offset (sparse growth).
 func (d *FileDisk) WriteAt(p []byte, off int64) error {

@@ -268,6 +268,18 @@ type Machine struct {
 	// hide it), modeling physical disks on page-cached hardware.
 	Delay *DelayConfig
 
+	// Retry, when non-nil, wraps every disk in a RetryDisk: transient
+	// faults are re-issued under the bounded backoff policy and every
+	// escaping error carries op/disk/offset context. The wrapper sits
+	// BELOW the async layer, so a deferred write-behind operation retries
+	// before its failure can latch the AsyncDisk.
+	Retry *RetryConfig
+
+	// Chaos, when non-nil and enabled, wraps every disk in a seeded
+	// ChaosDisk fault injector (below the retry layer, standing in for the
+	// failing hardware). Production configurations leave it nil.
+	Chaos *ChaosConfig
+
 	// CopyFabric selects the MPI-fidelity copying interconnect: message
 	// payloads are deep-copied through a fabric pool at send time instead
 	// of transferring buffer ownership. Outputs and operation counts are
@@ -301,9 +313,7 @@ func (m Machine) NewArrays() ([]*DiskArray, error) {
 			if err != nil {
 				return nil, err
 			}
-			if m.Delay != nil {
-				d = NewDelayDisk(d, *m.Delay)
-			}
+			d = m.wrapFaultLayers(d, p+k*m.P, false)
 			if m.Async != nil {
 				cfg := *m.Async
 				if cfg.Pool == nil && m.Pools != nil {
@@ -334,9 +344,7 @@ func (m Machine) NewSpillDisk(idx int) (Disk, error) {
 	if err != nil {
 		return nil, err
 	}
-	if m.Delay != nil {
-		d = NewDelayDisk(d, *m.Delay)
-	}
+	d = m.wrapFaultLayers(d, idx, true)
 	if m.Async != nil {
 		cfg := *m.Async
 		if cfg.Pool == nil && m.Pools != nil {
@@ -345,6 +353,24 @@ func (m Machine) NewSpillDisk(idx int) (Disk, error) {
 		d = NewAsyncDisk(d, cfg)
 	}
 	return d, nil
+}
+
+// wrapFaultLayers stacks the service-time model, the chaos injector, and
+// the retry policy under one disk, in that order: delay models the physical
+// disk (so a retried attempt pays service time again), chaos stands in for
+// its failures, and retry heals the transient ones before the async layer
+// above can latch them.
+func (m Machine) wrapFaultLayers(d Disk, idx int, spill bool) Disk {
+	if m.Delay != nil {
+		d = NewDelayDisk(d, *m.Delay)
+	}
+	if m.Chaos != nil && m.Chaos.enabled() {
+		d = NewChaosDisk(d, *m.Chaos, idx, spill)
+	}
+	if m.Retry != nil {
+		d = NewRetryDisk(d, *m.Retry, idx, spill)
+	}
+	return d
 }
 
 // NewStore allocates a fresh store for an r×s matrix on new arrays.

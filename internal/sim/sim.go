@@ -47,6 +47,15 @@ type Counters struct {
 
 	// Rounds counts pipeline rounds this processor participated in.
 	Rounds int64
+
+	// Fault tolerance: what the storage fault layers absorbed or detected.
+	// Zero on a healthy run; none of these feed the cost model (a retry's
+	// cost is its re-issued disk traffic, charged above).
+	DiskRetries   int64 // transient disk faults healed by retry
+	DiskGiveUps   int64 // transient faults that exhausted the retry budget
+	CorruptChunks int64 // spill-run chunks failing CRC32C verification
+	ChunkRereads  int64 // corrupt chunks healed by an invalidate-and-reread
+	BatchRedos    int64 // hierarchical batches re-sorted/re-spilled
 }
 
 // Add accumulates o into c.
@@ -62,6 +71,11 @@ func (c *Counters) Add(o Counters) {
 	c.CompareUnits += o.CompareUnits
 	c.MovedBytes += o.MovedBytes
 	c.Rounds += o.Rounds
+	c.DiskRetries += o.DiskRetries
+	c.DiskGiveUps += o.DiskGiveUps
+	c.CorruptChunks += o.CorruptChunks
+	c.ChunkRereads += o.ChunkRereads
+	c.BatchRedos += o.BatchRedos
 }
 
 // SortWork returns the CompareUnits charge for a comparison sort of n

@@ -1,6 +1,8 @@
 package colsort
 
 import (
+	"time"
+
 	"colsort/internal/core"
 	"colsort/internal/record"
 )
@@ -65,6 +67,31 @@ const (
 	FabricCopying
 )
 
+// RetryPolicy tunes the storage fault-tolerance layers of one Sort call;
+// see WithRetry. The zero value of each field selects its default.
+type RetryPolicy struct {
+	// MaxAttempts is the number of times each disk operation is issued
+	// before a transient fault is given up on (default 4). 1 disables
+	// retries: the first failure escapes immediately.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first re-issue (default 200µs);
+	// it doubles per attempt up to MaxDelay (default 10ms), with ±50%
+	// jitter. Cancelling the sort's context interrupts any backoff sleep.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// RedoBudget is how many times a hierarchical run-formation batch may
+	// be re-sorted and re-spilled onto a fresh disk after its spilled run
+	// fails verification or its spill disk fails permanently (default 2).
+	// Negative disables batch redo entirely.
+	RedoBudget int
+	// Scrub forces the post-spill CRC readback of every run even when no
+	// chaos injection is configured (under chaos it is always on). It
+	// catches persistent write-path corruption — a torn write, bit rot —
+	// while the batch that produced the run can still be redone, at the
+	// cost of one extra sequential read of every spilled byte.
+	Scrub bool
+}
+
 // sortOptions collects the functional options of one Sort call.
 type sortOptions struct {
 	alg       Algorithm
@@ -75,6 +102,7 @@ type sortOptions struct {
 	maxMemory int64 // bytes one run may hold; 0 = only the algorithm's bound
 	fanIn     int   // merge fan-in; 0 = defaultMergeFanIn
 	fabric    Fabric
+	retry     *RetryPolicy
 }
 
 // Option customizes one Sort call; see the With* constructors.
@@ -137,6 +165,19 @@ func WithMergeFanIn(k int) Option {
 // include the transport's memory traffic.
 func WithFabric(f Fabric) Option {
 	return func(o *sortOptions) { o.fabric = f }
+}
+
+// WithRetry overrides the sort's storage fault-tolerance policy. Every
+// Sort already runs with the default policy — transient disk faults are
+// retried under bounded exponential backoff with jitter, every escaping
+// disk error carries operation/disk/offset context, spilled runs are
+// CRC32C-framed, and a hierarchical batch whose run fails verification is
+// re-sorted and re-spilled within the redo budget — so WithRetry exists to
+// tune the budgets (or, with MaxAttempts 1 and a negative RedoBudget, to
+// fail fast). Retries and redos are visible in Result.Faults and the
+// fault-tolerance fields of Result.TotalCounters.
+func WithRetry(p RetryPolicy) Option {
+	return func(o *sortOptions) { o.retry = &p }
 }
 
 // WithProgress registers a callback receiving pass/round completion events

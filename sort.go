@@ -71,13 +71,19 @@ func (s *Sorter) Sort(ctx context.Context, src Source, dst Sink, opts ...Option)
 		return nil, fmt.Errorf("colsort: cannot sort %d records", n)
 	}
 	pl, plErr := s.planOpts(o, n)
+	m := s.machineFor(ctx, o)
+	faultsAt := s.faults.Snapshot()
 	// Beyond the single-run bound (or a WithMaxMemory cap): split into
 	// bounded runs and k-way merge them into the sink — the hierarchical
 	// path that makes Sort unbounded in n.
 	if hier, err := s.wantHierarchical(o, pl, plErr); err != nil {
 		return nil, err
 	} else if hier {
-		return s.sortHierarchical(ctx, rd, dst, o, codec, n)
+		res, err := s.sortHierarchical(ctx, m, rd, dst, o, codec, n)
+		if res != nil {
+			res.Faults = s.faultsSince(faultsAt)
+		}
+		return res, err
 	}
 	if plErr != nil {
 		return nil, plErr
@@ -85,11 +91,11 @@ func (s *Sorter) Sort(ctx context.Context, src Source, dst Sink, opts ...Option)
 
 	// An existing store of exactly the planned shape under the native key
 	// is consumed in place — no ingest copy, the legacy SortStore path.
-	input, ownInput, want, err := s.ingest(ctx, src, rd, pl, codec, n)
+	input, ownInput, want, err := s.ingest(ctx, m, src, rd, pl, codec, n)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Run(ctx, pl, s.machineFor(o), input, core.Hooks{Progress: o.progress})
+	res, err := core.Run(ctx, pl, m, input, core.Hooks{Progress: o.progress})
 	if ownInput {
 		input.Close()
 	}
@@ -112,15 +118,42 @@ func (s *Sorter) Sort(ctx context.Context, src Source, dst Sink, opts ...Option)
 			return nil, err
 		}
 	}
+	out.Faults = s.faultsSince(faultsAt)
 	return out, nil
 }
 
-// machineFor applies per-sort machine options: the interconnect fabric
-// choice rides on the (value-copied) machine, sharing its pools and disks.
-func (s *Sorter) machineFor(o sortOptions) pdm.Machine {
+// machineFor applies per-sort machine options to the (value-copied)
+// machine, which keeps sharing the Sorter's pools and backend: the
+// interconnect fabric choice, and the storage retry policy — always on,
+// with WithRetry overriding the defaults — whose backoff sleeps abort with
+// ctx and whose counters land in the Sorter's fault stats. The retry layer
+// wraps every disk the sort creates below its async layer, so write-behind
+// operations retry before their failure can latch, and every escaping disk
+// error carries operation/disk/offset context.
+func (s *Sorter) machineFor(ctx context.Context, o sortOptions) pdm.Machine {
 	m := s.m
 	m.CopyFabric = o.fabric == FabricCopying
+	rc := pdm.RetryConfig{Cancel: ctx.Done(), Stats: &s.faults}
+	if p := o.retry; p != nil {
+		rc.MaxAttempts = p.MaxAttempts
+		rc.BaseDelay = p.BaseDelay
+		rc.MaxDelay = p.MaxDelay
+	}
+	m.Retry = &rc
 	return m
+}
+
+// faultsSince converts the Sorter's fault-stat delta since at into the
+// public per-sort report.
+func (s *Sorter) faultsSince(at pdm.FaultCounts) FaultStats {
+	d := s.faults.Snapshot().Sub(at)
+	return FaultStats{
+		DiskRetries:   d.Retries,
+		DiskGiveUps:   d.GaveUps,
+		CorruptChunks: d.CorruptChunks,
+		ChunkRereads:  d.Rereads,
+		BatchRedos:    d.BatchRedos,
+	}
 }
 
 // planOpts turns the options into a validated plan for n records.
@@ -140,12 +173,12 @@ func (s *Sorter) planOpts(o sortOptions, n int64) (core.Plan, error) {
 // consumed in place (ownInput = false), or a fresh store filled from the
 // source's record stream (ownInput = true). want is the multiset checksum
 // of the real records in the engine's normalized key space.
-func (s *Sorter) ingest(ctx context.Context, src Source, rd RecordReader, pl core.Plan, codec record.KeyCodec, n int64) (input *pdm.Store, ownInput bool, want record.Checksum, err error) {
+func (s *Sorter) ingest(ctx context.Context, m pdm.Machine, src Source, rd RecordReader, pl core.Plan, codec record.KeyCodec, n int64) (input *pdm.Store, ownInput bool, want record.Checksum, err error) {
 	if ss, ok := src.(*storeSource); ok && codec.Identity() && n == pl.N && storeMatchesPlan(ss.st, pl) {
 		want, err = ss.st.Checksum()
 		return ss.st, false, want, err
 	}
-	input, err = pl.NewStore(s.m)
+	input, err = pl.NewStore(m)
 	if err != nil {
 		return nil, false, want, err
 	}
