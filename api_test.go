@@ -1,0 +1,209 @@
+package colsort
+
+// TestAPISurfaceGolden pins the package's exported API surface to a golden
+// file. The v1 surface is FINAL: any removal or signature change fails this
+// test (and the scripts/apidiff.sh CI gate, which compares the golden
+// across commits against the api/removed.txt allowlist).
+//
+// After an intentional API change, regenerate with
+//
+//	COLSORT_UPDATE_API=1 go test -run TestAPISurfaceGolden .
+//
+// and, for removals, add the removed symbols to api/removed.txt.
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+const apiGoldenPath = "api/colsort_api.txt"
+
+func TestAPISurfaceGolden(t *testing.T) {
+	got := dumpAPISurface(t)
+	if os.Getenv("COLSORT_UPDATE_API") != "" {
+		if err := os.MkdirAll("api", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(apiGoldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", apiGoldenPath)
+		return
+	}
+	wantBytes, err := os.ReadFile(apiGoldenPath)
+	if err != nil {
+		t.Fatalf("missing API golden (regenerate with COLSORT_UPDATE_API=1 go test -run TestAPISurfaceGolden .): %v", err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	gotSet := toSet(got)
+	wantSet := toSet(want)
+	for line := range wantSet {
+		if !gotSet[line] {
+			t.Errorf("removed from the exported API:\n  %s", line)
+		}
+	}
+	for line := range gotSet {
+		if !wantSet[line] {
+			t.Errorf("added to the exported API (regenerate the golden):\n  %s", line)
+		}
+	}
+	t.Fatalf("exported API surface drifted from %s; if intentional, regenerate with COLSORT_UPDATE_API=1 and record removals in api/removed.txt", apiGoldenPath)
+}
+
+func toSet(s string) map[string]bool {
+	set := make(map[string]bool)
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		if line != "" {
+			set[line] = true
+		}
+	}
+	return set
+}
+
+// dumpAPISurface renders one sorted line per exported symbol of the root
+// package: funcs and methods with full signatures, types with their
+// exported fields and interface methods, consts and vars.
+func dumpAPISurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["colsort"]
+	if !ok {
+		t.Fatalf("package colsort not found in .")
+	}
+	render := func(expr ast.Expr) string {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, expr); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	var lines []string
+	add := func(format string, args ...interface{}) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				sig := renderFuncType(render, d.Type)
+				if d.Recv == nil {
+					add("func %s%s", d.Name.Name, sig)
+					continue
+				}
+				recv := render(d.Recv.List[0].Type)
+				if !ast.IsExported(strings.TrimLeft(recv, "*")) {
+					continue
+				}
+				add("method (%s) %s%s", recv, d.Name.Name, sig)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.ValueSpec:
+						kind := "var"
+						if d.Tok == token.CONST {
+							kind = "const"
+						}
+						for _, name := range s.Names {
+							if name.IsExported() {
+								add("%s %s", kind, name.Name)
+							}
+						}
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						switch tt := s.Type.(type) {
+						case *ast.StructType:
+							add("type %s struct", s.Name.Name)
+							for _, f := range tt.Fields.List {
+								ft := render(f.Type)
+								if len(f.Names) == 0 { // embedded
+									add("field %s.%s (embedded)", s.Name.Name, ft)
+									continue
+								}
+								for _, fn := range f.Names {
+									if fn.IsExported() {
+										add("field %s.%s %s", s.Name.Name, fn.Name, ft)
+									}
+								}
+							}
+						case *ast.InterfaceType:
+							add("type %s interface", s.Name.Name)
+							for _, m := range tt.Methods.List {
+								for _, mn := range m.Names {
+									if mn.IsExported() {
+										ft, ok := m.Type.(*ast.FuncType)
+										if !ok {
+											continue
+										}
+										add("ifacemethod %s.%s%s", s.Name.Name, mn.Name, renderFuncType(render, ft))
+									}
+								}
+							}
+						default:
+							eq := ""
+							if s.Assign.IsValid() {
+								eq = " = " + render(s.Type)
+							}
+							add("type %s%s", s.Name.Name, eq)
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// renderFuncType renders "(params) results" for a func type.
+func renderFuncType(render func(ast.Expr) string, ft *ast.FuncType) string {
+	field := func(f *ast.Field) string {
+		typ := render(f.Type)
+		if n := len(f.Names); n > 1 {
+			// "a, b int" contributes the type once per name.
+			parts := make([]string, n)
+			for i := range parts {
+				parts[i] = typ
+			}
+			return strings.Join(parts, ", ")
+		}
+		return typ
+	}
+	var params []string
+	for _, f := range ft.Params.List {
+		params = append(params, field(f))
+	}
+	sig := "(" + strings.Join(params, ", ") + ")"
+	if ft.Results == nil {
+		return sig
+	}
+	var results []string
+	for _, f := range ft.Results.List {
+		results = append(results, field(f))
+	}
+	if len(results) == 1 {
+		return sig + " " + results[0]
+	}
+	return sig + " (" + strings.Join(results, ", ") + ")"
+}

@@ -2,6 +2,7 @@ package colsort
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -25,7 +26,8 @@ func TestAsyncMatchesSync(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				res, err := s.SortGenerated(alg, n, record.Uniform{Seed: 42})
+				res, err := s.Sort(context.Background(), Generate(record.Uniform{Seed: 42}, n), nil,
+					WithAlgorithm(alg), WithPadding(PadNever))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -72,7 +74,7 @@ func TestSortFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.SortFile(Threaded, in, out)
+	res, err := s.Sort(context.Background(), FromFile(in), ToFile(out), WithAlgorithm(Threaded))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,10 +116,10 @@ func TestSortFileRejectsRaggedInput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.SortFile(Threaded, in, filepath.Join(dir, "out.dat")); err == nil {
+	if _, err := s.Sort(context.Background(), FromFile(in), ToFile(filepath.Join(dir, "out.dat"))); err == nil {
 		t.Fatal("ragged input accepted")
 	}
-	if _, err := s.SortFile(Threaded, filepath.Join(dir, "missing.dat"), filepath.Join(dir, "out.dat")); err == nil {
+	if _, err := s.Sort(context.Background(), FromFile(filepath.Join(dir, "missing.dat")), ToFile(filepath.Join(dir, "out.dat"))); err == nil {
 		t.Fatal("missing input accepted")
 	}
 }

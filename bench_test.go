@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"colsort/internal/bounds"
@@ -38,7 +39,8 @@ func benchSort(b *testing.B, alg Algorithm, n int64, p, mem, z int) {
 	b.SetBytes(n * int64(z))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := s.SortGenerated(alg, n, record.Uniform{Seed: uint64(i)})
+		res, err := s.Sort(context.Background(), Generate(record.Uniform{Seed: uint64(i)}, n), nil,
+			WithAlgorithm(alg), WithPadding(PadNever))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -175,7 +177,8 @@ func BenchmarkE11HybridGroupSweep(b *testing.B) {
 			b.SetBytes(n * z)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := s.SortGeneratedHybrid(g, n, record.Uniform{Seed: uint64(i)})
+				res, err := s.Sort(context.Background(), Generate(record.Uniform{Seed: uint64(i)}, n), nil,
+					WithHybridGroup(g))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -294,7 +297,8 @@ func BenchmarkFileBacked(b *testing.B) {
 	b.SetBytes(n * 64)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := s.SortGenerated(Threaded, n, record.Uniform{Seed: uint64(i)})
+		res, err := s.Sort(context.Background(), Generate(record.Uniform{Seed: uint64(i)}, n), nil,
+			WithAlgorithm(Threaded), WithPadding(PadNever))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -338,7 +342,8 @@ func BenchmarkFigure2File(b *testing.B) {
 			b.SetBytes(n * z)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := s.SortGenerated(Threaded, n, record.Uniform{Seed: uint64(i)})
+				res, err := s.Sort(context.Background(), Generate(record.Uniform{Seed: uint64(i)}, n), nil,
+					WithAlgorithm(Threaded), WithPadding(PadNever))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -422,4 +427,68 @@ func TestBenchmarkConfigsEligible(t *testing.T) {
 		check(MColumn, int64(mem)*16, 4, mem, 64)
 	}
 	check(Combined, int64(4*(1<<10))*16, 4, 1<<10, 16)
+}
+
+// BenchmarkConcurrentJobs measures sort-as-a-service throughput: J
+// concurrent file-backed hierarchical sorts (each 3× the single-run bound)
+// sharing one Engine whose TotalMemory admits two jobs at a time, so the
+// admission queue is part of the measured path. Bytes/op counts the total
+// record bytes sorted across all J jobs.
+func BenchmarkConcurrentJobs(b *testing.B) {
+	const p, mem, z = 4, 1 << 10, 64
+	probe, err := New(Config{Procs: p, MemPerProc: mem, RecordSize: z})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound := probe.MaxRecords(Threaded)
+	n := 3 * bound
+	ask := bound * z
+	for _, jobs := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			dir := b.TempDir()
+			inputs := make([]string, jobs)
+			for j := range inputs {
+				raw := record.Make(int(n), z)
+				record.Fill(raw, record.Uniform{Seed: uint64(7 + j)}, 0)
+				inputs[j] = filepath.Join(dir, fmt.Sprintf("in%d.dat", j))
+				if err := os.WriteFile(inputs[j], raw.Data, 0o644); err != nil {
+					b.Fatal(err)
+				}
+			}
+			e, err := NewEngine(EngineConfig{
+				Config: Config{Procs: p, MemPerProc: mem, RecordSize: z,
+					Dir: filepath.Join(dir, "scratch"), Async: true},
+				TotalMemory: 2 * ask,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			b.SetBytes(int64(jobs) * n * z)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for j := 0; j < jobs; j++ {
+					j := j
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						out := filepath.Join(dir, fmt.Sprintf("out%d.dat", j))
+						res, err := e.Sort(context.Background(), FromFile(inputs[j]), ToFile(out),
+							WithMaxMemory(ask))
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if res.Merge == nil {
+							b.Error("job did not take the hierarchical path")
+						}
+						res.Close()
+						os.Remove(out)
+					}()
+				}
+				wg.Wait()
+			}
+		})
+	}
 }

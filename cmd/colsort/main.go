@@ -1,8 +1,8 @@
-// Command colsort runs one out-of-core sort end to end on the simulated
+// Command colsort runs out-of-core sorts end to end on the simulated
 // cluster: plan, ingest (a generated workload or a real file), sort,
 // verify, and report operation counts plus the Beowulf-2003 time estimate.
 // It is a thin shell over the v1 library call
-// Sorter.Sort(ctx, src, dst, opts...).
+// Engine.Sort(ctx, src, dst, opts...).
 //
 // Examples:
 //
@@ -36,6 +36,17 @@
 // seeded storage faults — transient errors, bit flips, torn writes, a dying
 // spill disk — to exercise those layers; a chaos run prints its seed, and
 // COLSORT_CHAOS_SEED (or -chaos-seed) replays it.
+//
+// -jobs N serves N concurrent sorts from ONE shared engine (warm buffer
+// pools, shared scratch, per-job fault isolation); -total-memory-mib caps
+// the engine's aggregate record-buffer budget, queueing jobs that do not
+// fit until earlier ones finish:
+//
+//	colsort -jobs 4 -total-memory-mib 64 -n 1048576 -p 4 -mem 4096 \
+//	        -dir /tmp/colsort -async
+//
+// Generated inputs get per-job seeds (-seed, -seed+1, …); with -in, every
+// job sorts the same input and job J writes <out>.jobJ.
 package main
 
 import (
@@ -47,6 +58,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"colsort"
@@ -90,6 +102,8 @@ func main() {
 	desc := flag.Bool("desc", false, "sort the key field in descending order")
 	progress := flag.Bool("progress", false, "print pass/round completion as the sort runs")
 	planOnly := flag.Bool("plan", false, "print the plan and exit")
+	jobs := flag.Int("jobs", 1, "serve this many concurrent sorts from one shared engine (generated inputs get per-job seeds; with -in, job J writes <out>.jobJ)")
+	totalMemMiB := flag.Int64("total-memory-mib", 0, "engine-wide record-buffer budget in MiB; jobs over the remaining budget queue until earlier jobs finish (0: unlimited)")
 	flag.Parse()
 
 	alg, ok := algByName(*algName)
@@ -140,11 +154,19 @@ func main() {
 		// Always print the seed: a failing chaos run must be replayable.
 		fmt.Fprintf(os.Stderr, "chaos: fault injection enabled, seed %d\n", seed)
 	}
-	sorter, err := colsort.New(cfg)
+	if *jobs < 1 {
+		fmt.Fprintln(os.Stderr, "-jobs must be at least 1")
+		os.Exit(2)
+	}
+	engine, err := colsort.NewEngine(colsort.EngineConfig{
+		Config:      cfg,
+		TotalMemory: *totalMemMiB << 20,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	defer engine.Close()
 
 	// Ctrl-C cancels the context; the library tears down the cluster, the
 	// async disk workers and the scratch files before Sort returns.
@@ -199,7 +221,7 @@ func main() {
 	}
 
 	if *planOnly {
-		plan, err := planFor(sorter, alg, *group, *inPath, *n, *z, *maxMemMiB<<20)
+		plan, err := planFor(engine, alg, *group, *inPath, *n, *z, *maxMemMiB<<20)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -208,27 +230,50 @@ func main() {
 		return
 	}
 
-	var src colsort.Source
-	var dst colsort.Sink
-	if *inPath != "" {
-		src, dst = colsort.FromFile(*inPath), colsort.ToFile(*outPath)
-	} else {
-		src = colsort.Generate(g, *n)
-		_, perr := sorter.Plan(alg, *n)
-		if *maxMemMiB == 0 && (alg == colsort.Hybrid || perr == nil) {
-			// Exactly plannable (or hybrid, which plans its own shape):
-			// keep the strict no-padding contract of the legacy CLI.
+	// padNever: exactly plannable (or hybrid, which plans its own shape) —
+	// keep the strict no-padding contract of the legacy CLI. Otherwise
+	// Sort decides under PadAuto — possibly hierarchically, whose merged
+	// output only exists as a stream, so generated input (no -out) sinks
+	// to Discard.
+	padNever := false
+	if *inPath == "" {
+		_, perr := engine.Plan(alg, *n)
+		padNever = *maxMemMiB == 0 && (alg == colsort.Hybrid || perr == nil)
+		if padNever {
 			opts = append(opts, colsort.WithPadding(colsort.PadNever))
-		} else {
-			// Padded, capped, or above-bound: Sort decides under PadAuto —
-			// possibly hierarchically, whose merged output only exists as a
-			// stream. Generated input has no -out, so drop it.
-			dst = colsort.Discard()
 		}
+	}
+	srcFor := func(j int) colsort.Source {
+		if *inPath != "" {
+			return colsort.FromFile(*inPath)
+		}
+		if j == 0 {
+			return colsort.Generate(g, *n)
+		}
+		gj, _ := record.ByName(*gen, *seed+uint64(j))
+		return colsort.Generate(gj, *n)
+	}
+	dstFor := func(j int) colsort.Sink {
+		switch {
+		case *inPath == "" && padNever:
+			return nil
+		case *inPath == "":
+			return colsort.Discard()
+		case *jobs > 1:
+			return colsort.ToFile(fmt.Sprintf("%s.job%d", *outPath, j))
+		default:
+			return colsort.ToFile(*outPath)
+		}
+	}
+	isBaseline := alg == colsort.BaselineIO3 || alg == colsort.BaselineIO4
+
+	if *jobs > 1 {
+		serveJobs(ctx, engine, *jobs, srcFor, dstFor, opts, isBaseline, *inPath != "")
+		return
 	}
 
 	start := time.Now()
-	res, err := sorter.Sort(ctx, src, dst, opts...)
+	res, err := engine.Sort(ctx, srcFor(0), dstFor(0), opts...)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "interrupted: sort cancelled, scratch cleaned up")
@@ -239,8 +284,6 @@ func main() {
 	}
 	defer res.Close()
 	wall := time.Since(start)
-
-	isBaseline := alg == colsort.BaselineIO3 || alg == colsort.BaselineIO4
 	switch {
 	case *inPath != "":
 		fmt.Printf("sorted %d records of %s into %s (plan: %s)\n", res.RealRecords(), *inPath, *outPath, res.Plan.String())
@@ -267,15 +310,81 @@ func main() {
 	report(res, wall)
 }
 
+// serveJobs runs n concurrent sorts on the shared engine and prints one
+// summary line per job plus the engine's aggregate stats. Exits nonzero if
+// any job failed or failed verification.
+func serveJobs(ctx context.Context, engine *colsort.Engine, n int,
+	srcFor func(int) colsort.Source, dstFor func(int) colsort.Sink,
+	opts []colsort.Option, isBaseline, fileBacked bool) {
+	type outcome struct {
+		res  *colsort.Result
+		wall time.Duration
+		err  error
+	}
+	results := make([]outcome, n)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for j := 0; j < n; j++ {
+		j := j
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			js := time.Now()
+			res, err := engine.Sort(ctx, srcFor(j), dstFor(j), opts...)
+			results[j] = outcome{res: res, wall: time.Since(js), err: err}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	failed := false
+	for j, r := range results {
+		if r.err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "job %d: %v\n", j, r.err)
+			continue
+		}
+		status := "verified"
+		switch {
+		case isBaseline:
+			status = "done (baseline, unsorted by design)"
+		case r.res.Merge != nil || fileBacked:
+			status = "verified in-stream"
+		default:
+			if err := r.res.Verify(); err != nil {
+				failed = true
+				status = "VERIFICATION FAILED: " + err.Error()
+			}
+		}
+		line := fmt.Sprintf("job %d: %s in %v (plan: %s)", j, status, r.wall.Round(time.Millisecond), r.res.Plan.String())
+		if f := r.res.Faults; f.Any() {
+			line += fmt.Sprintf("; faults: %d retried, %d corrupt chunks, %d redos", f.DiskRetries, f.CorruptChunks, f.BatchRedos)
+		}
+		fmt.Println(line)
+		r.res.Close()
+	}
+	st := engine.Stats()
+	budget := "unlimited"
+	if st.TotalMemory > 0 {
+		budget = fmt.Sprintf("%d MiB", st.TotalMemory>>20)
+	}
+	fmt.Printf("engine: %d completed, %d failed in %v; peak lease %d MiB of %s; pool holds %d buffers (%d MiB)\n",
+		st.CompletedJobs, st.FailedJobs, wall.Round(time.Millisecond),
+		st.PeakLeasedBytes>>20, budget, st.PoolFreeBuffers, st.PoolFreeBytes>>20)
+	if failed {
+		os.Exit(1)
+	}
+}
+
 // planFor reports the plan the equivalent Sort call would execute,
 // including the hierarchical runs-plus-merge plan for inputs beyond the
 // single-run bound or a -max-memory-mib cap.
-func planFor(sorter *colsort.Sorter, alg colsort.Algorithm, group int, inPath string, n int64, z int, maxMem int64) (interface{ String() string }, error) {
+func planFor(engine *colsort.Engine, alg colsort.Algorithm, group int, inPath string, n int64, z int, maxMem int64) (interface{ String() string }, error) {
 	if alg == colsort.Hybrid {
 		if inPath != "" {
-			return sorter.PlanFile(alg, inPath) // rejects hybrid file sorts, as the run would
+			return engine.PlanFile(alg, inPath) // rejects hybrid file sorts, as the run would
 		}
-		pl, err := sorter.PlanHybrid(group, n)
+		pl, err := engine.PlanHybrid(group, n)
 		if err == nil && maxMem > 0 && pl.N*int64(z) > maxMem {
 			// Match the run's rejection: hybrid cannot take the
 			// hierarchical path a run-size cap requires.
@@ -291,11 +400,11 @@ func planFor(sorter *colsort.Sorter, alg colsort.Algorithm, group int, inPath st
 			return nil, serr
 		}
 		n = info.Size() / int64(z)
-		single, err = sorter.PlanFile(alg, inPath)
+		single, err = engine.PlanFile(alg, inPath)
 	} else {
 		// PlanPadded mirrors the PadAuto decision the run makes, so -plan
 		// agrees with the run for non-power-of-two counts too.
-		single, err = sorter.PlanPadded(alg, n)
+		single, err = engine.PlanPadded(alg, n)
 	}
 	overCap := err == nil && maxMem > 0 // a cap forces runs even when one run would fit
 	if err == nil && !overCap {
@@ -304,7 +413,7 @@ func planFor(sorter *colsort.Sorter, alg colsort.Algorithm, group int, inPath st
 	if err != nil && !errors.Is(err, colsort.ErrTooLarge) {
 		return nil, err
 	}
-	runPl, batches, herr := sorter.PlanHierarchical(alg, n, maxMem)
+	runPl, batches, herr := engine.PlanHierarchical(alg, n, maxMem)
 	if herr != nil {
 		return nil, herr
 	}

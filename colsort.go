@@ -25,8 +25,16 @@
 // call from a Source (generator, file, byte buffer, io.Reader, existing
 // store) to a Sink (file, io.Writer, discard), with functional options for
 // the algorithm, hybrid group size, padding policy, progress reporting and
-// a pluggable key schema (KeySpec). The SortGenerated / SortStore /
-// SortFile family remains as thin deprecated wrappers for one release.
+// a pluggable key schema (KeySpec). The v0 SortGenerated / SortStore /
+// SortFile family, deprecated since the v1 surface landed, has been
+// removed; see the README's migration table.
+//
+// To serve many sorts from one process, construct an Engine (NewEngine): a
+// long-lived service owning the machine, the warm buffer pools and the
+// scratch directory, admitting concurrent Sort jobs against a TotalMemory
+// budget. A Sorter is a thin facade over a private engine — same machine
+// lifecycle, same results — kept so single-job callers need not name the
+// engine at all.
 //
 // The cluster (goroutine processors, message passing), the parallel disk
 // model (memory- or file-backed disks with exact operation accounting) and
@@ -39,7 +47,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"time"
 
 	"colsort/internal/bounds"
 	"colsort/internal/core"
@@ -68,11 +75,19 @@ const (
 	BaselineIO3 = core.BaselineIO3
 	BaselineIO4 = core.BaselineIO4
 	// Hybrid is group columnsort with 2 ≤ g ≤ P/2 (Section-6 future
-	// work); use PlanHybrid / SortGeneratedHybrid, which take g.
+	// work); use PlanHybrid or WithHybridGroup, which take g.
 	Hybrid = core.Hybrid
 )
 
-// Config describes the simulated cluster and the memory budget.
+// Config describes the simulated cluster and the memory budget. It is
+// construction-time only: a Config is consumed by New / NewEngine to build
+// the machine, and nothing mutates it afterwards. Per-job knobs have
+// functional-option counterparts (WithAsync, WithDiskModel, WithChaos,
+// WithFabric, WithRetry); when a job passes one, the option overrides the
+// corresponding Config field for that job alone — the engine's Config and
+// every other job are untouched. Knobs with no option (Procs, Disks,
+// MemPerProc, RecordSize, Dir, StripeBytes) define the machine itself and
+// can only be chosen at construction.
 type Config struct {
 	// Procs is P, the number of processors (a power of 2).
 	Procs int
@@ -95,7 +110,8 @@ type Config struct {
 	// Async enables the asynchronous disk layer: the passes' known future
 	// access sequence drives read-ahead, and writes retire in the
 	// background with errors surfaced at each pass's flush and at Close.
-	// Operation counts are identical to a synchronous run.
+	// Operation counts are identical to a synchronous run. Overridable
+	// per job with WithAsync.
 	Async bool
 	// ReadAhead and WriteBehind bound the per-disk async queues (staged
 	// prefetch extents / buffered writes); 0 selects the defaults.
@@ -106,13 +122,15 @@ type Config struct {
 	// bytes/bandwidth), modeling physical disks on hardware whose page
 	// cache would otherwise hide I/O cost. The delay sits below the async
 	// layer, so prefetch and write-behind genuinely overlap it.
+	// Overridable per job with WithDiskModel.
 	DiskSeekMicros int
 	DiskMBps       int
 	// Chaos, when non-nil, injects seeded storage faults under every disk
 	// (below the retry layer): transient read/write errors, silent
 	// bit-flip and torn-write corruption, and scripted permanent spill
 	// disk death. It exists to exercise the fault-tolerance layers —
-	// production configurations leave it nil. See DESIGN.md §9.
+	// production configurations leave it nil. Overridable per job with
+	// WithChaos. See DESIGN.md §9.
 	Chaos *ChaosConfig
 }
 
@@ -145,92 +163,78 @@ type ChaosConfig struct {
 	DeadSpillAfter int64
 }
 
-// Sorter is a configured out-of-core sorting engine.
+// Sorter is a configured out-of-core sorting engine for one caller: a thin
+// facade over a private Engine with no admission budget, kept so code that
+// sorts one input at a time need not manage an engine. All methods
+// delegate; Engine exposes the underlying service for callers that grow
+// into concurrent jobs.
 type Sorter struct {
-	cfg Config
-	m   pdm.Machine
-	// faults accumulates the fault-tolerance layers' counters across the
-	// Sorter's lifetime; each Sort reports its own delta in Result.Faults.
-	faults pdm.FaultStats
+	e *Engine
 }
 
-// New validates the configuration and builds a Sorter.
+// New validates the configuration and builds a Sorter (a facade over a
+// private, unbudgeted Engine).
 func New(cfg Config) (*Sorter, error) {
-	if cfg.Disks == 0 {
-		cfg.Disks = cfg.Procs
-	}
-	if err := record.CheckSize(cfg.RecordSize); err != nil {
-		return nil, err
-	}
-	m := pdm.Machine{P: cfg.Procs, D: cfg.Disks, StripeBytes: cfg.StripeBytes,
-		Pools: record.NewPools(cfg.Procs)}
-	if cfg.Dir != "" {
-		m.Backend = pdm.FileBackend{Dir: cfg.Dir}
-	}
-	if cfg.Async {
-		m.Async = &pdm.AsyncConfig{ReadAhead: cfg.ReadAhead, WriteBehind: cfg.WriteBehind}
-	}
-	if cfg.DiskSeekMicros > 0 || cfg.DiskMBps > 0 {
-		m.Delay = &pdm.DelayConfig{
-			Seek:        time.Duration(cfg.DiskSeekMicros) * time.Microsecond,
-			BytesPerSec: int64(cfg.DiskMBps) << 20,
-		}
-	}
-	if cfg.Chaos != nil {
-		m.Chaos = &pdm.ChaosConfig{
-			Seed:           cfg.Chaos.Seed,
-			PTransient:     cfg.Chaos.PTransient,
-			PBitFlip:       cfg.Chaos.PBitFlip,
-			PTorn:          cfg.Chaos.PTorn,
-			TornSpillWrite: cfg.Chaos.TornSpillWrite,
-			FlipSpillRead:  cfg.Chaos.FlipSpillRead,
-			DeadSpillDisk:  cfg.Chaos.DeadSpillDisk,
-			DeadSpillAfter: cfg.Chaos.DeadSpillAfter,
-		}
-	}
-	probe, err := m.NewArrays()
+	e, err := NewEngine(EngineConfig{Config: cfg})
 	if err != nil {
 		return nil, err
 	}
-	for _, a := range probe { // validation only: release files and workers
-		a.Close()
-	}
-	return &Sorter{cfg: cfg, m: m}, nil
+	return &Sorter{e: e}, nil
+}
+
+// Engine returns the Sorter's underlying engine, for callers that want the
+// service interface (concurrent jobs, admission control, Stats) without
+// reconstructing the machine.
+func (s *Sorter) Engine() *Engine { return s.e }
+
+// Sort submits one job to the Sorter's private engine; see Engine.Sort for
+// the full contract. Unlike the pre-engine Sorter, concurrent Sort calls
+// on one Sorter are safe: each is an isolated job sharing only the warm
+// buffer pools.
+func (s *Sorter) Sort(ctx context.Context, src Source, dst Sink, opts ...Option) (*Result, error) {
+	return s.e.Sort(ctx, src, dst, opts...)
 }
 
 // Plan validates that the algorithm can sort n records under the
 // configuration and returns the resulting execution plan (matrix shape,
 // layout, pass structure). The error explains any violated restriction.
-func (s *Sorter) Plan(alg Algorithm, n int64) (core.Plan, error) {
-	return core.NewPlan(alg, n, s.cfg.Procs, s.cfg.Disks, s.cfg.MemPerProc, s.cfg.RecordSize)
+func (e *Engine) Plan(alg Algorithm, n int64) (core.Plan, error) {
+	return core.NewPlan(alg, n, e.cfg.Procs, e.cfg.Disks, e.cfg.MemPerProc, e.cfg.RecordSize)
 }
+
+// Plan delegates to Engine.Plan.
+func (s *Sorter) Plan(alg Algorithm, n int64) (core.Plan, error) { return s.e.Plan(alg, n) }
 
 // PlanHybrid validates hybrid group columnsort with group size g: column
 // height r = g·MemPerProc, interpolating between Threaded (g = 1) and
 // MColumn (g = P).
-func (s *Sorter) PlanHybrid(g int, n int64) (core.Plan, error) {
-	return core.NewHybridPlan(n, s.cfg.Procs, s.cfg.Disks, s.cfg.MemPerProc, s.cfg.RecordSize, g)
+func (e *Engine) PlanHybrid(g int, n int64) (core.Plan, error) {
+	return core.NewHybridPlan(n, e.cfg.Procs, e.cfg.Disks, e.cfg.MemPerProc, e.cfg.RecordSize, g)
 }
 
-// SortGeneratedHybrid runs hybrid group columnsort with group size g.
-//
-// Deprecated: use Sort with Generate and WithHybridGroup.
-func (s *Sorter) SortGeneratedHybrid(g int, n int64, gen record.Generator) (*Result, error) {
-	return s.Sort(context.Background(), Generate(gen, n), nil, WithHybridGroup(g))
+// PlanHybrid delegates to Engine.PlanHybrid.
+func (s *Sorter) PlanHybrid(g int, n int64) (core.Plan, error) { return s.e.PlanHybrid(g, n) }
+
+// PlanHierarchical delegates to Engine.PlanHierarchical.
+func (s *Sorter) PlanHierarchical(alg Algorithm, n int64, maxMemory int64) (core.Plan, int, error) {
+	return s.e.PlanHierarchical(alg, n, maxMemory)
 }
 
 // MaxRecords returns the largest power-of-two record count the algorithm
 // can sort under this configuration (the practical counterpart of the
 // paper's real-valued bounds; see the bounds package for those).
-func (s *Sorter) MaxRecords(alg Algorithm) int64 {
+func (e *Engine) MaxRecords(alg Algorithm) int64 {
 	var best int64
-	for n := int64(s.cfg.MemPerProc); n > 0 && n <= int64(1)<<52; n *= 2 {
-		if _, err := s.Plan(alg, n); err == nil && n > best {
+	for n := int64(e.cfg.MemPerProc); n > 0 && n <= int64(1)<<52; n *= 2 {
+		if _, err := e.Plan(alg, n); err == nil && n > best {
 			best = n
 		}
 	}
 	return best
 }
+
+// MaxRecords delegates to Engine.MaxRecords.
+func (s *Sorter) MaxRecords(alg Algorithm) int64 { return s.e.MaxRecords(alg) }
 
 // Result is a completed sort: the sorted output store plus exact operation
 // counts and the means to verify and cost it.
@@ -244,12 +248,17 @@ type Result struct {
 	// in its normalized key space, and every egress path decodes through
 	// it. The zero codec is the identity (native key layout).
 	codec record.KeyCodec
+	// JobID is the engine job number of this sort — the id that names its
+	// scratch-file namespace (pdm.JobScratchPrefix) and attributes it in
+	// engine stats. Ids are unique per engine, assigned in admission order.
+	JobID int64
 	// Faults reports what the fault-tolerance layers absorbed or detected
 	// during this sort: all zero on a healthy run. Any non-zero field means
 	// the storage stack misbehaved and the sort recovered (the output is
 	// verified either way); DiskGiveUps > 0 means some transient faults
 	// exhausted the retry budget (the sort failed unless a batch redo
-	// covered them).
+	// covered them). Under an engine the counters are job-scoped: faults of
+	// concurrent jobs never bleed into each other's reports.
 	Faults FaultStats
 	// Merge, non-nil after a hierarchical (above-bound) sort, reports the
 	// run-formation and merge statistics. Hierarchical results have a nil
@@ -347,38 +356,19 @@ func (r *Result) Close() error {
 	return r.Output.Close()
 }
 
-// SortGenerated generates n records from g (records are generated directly
-// onto the simulated disks; only one column portion is ever in memory),
-// sorts them with the chosen algorithm, and returns the verified-able
-// result. The caller owns Close on the result.
-//
-// Deprecated: use Sort with Generate (and WithPadding(PadNever) to keep
-// the strict power-of-two contract).
-func (s *Sorter) SortGenerated(alg Algorithm, n int64, g record.Generator) (*Result, error) {
-	return s.Sort(context.Background(), Generate(g, n), nil,
-		WithAlgorithm(alg), WithPadding(PadNever))
-}
-
-// SortGeneratedAny sorts ANY record count n ≥ 1, removing the paper's
-// power-of-two requirement on N (a Section-6 future-work item): the input
-// is padded with maximal records up to the smallest power of two the
-// planner accepts, sorted normally, and the result verifies and reports
-// only the real prefix. The relative padding overhead is below 2× and
-// shrinks to the next-power-of-two gap.
-//
-// Deprecated: use Sort with Generate; PadAuto is the default policy.
-func (s *Sorter) SortGeneratedAny(alg Algorithm, n int64, g record.Generator) (*Result, error) {
-	return s.Sort(context.Background(), Generate(g, n), nil, WithAlgorithm(alg))
-}
-
 // PlanPadded reports the plan a PadAuto Sort of n records would execute:
 // n itself when directly plannable, otherwise the smallest covering power
 // of two the planner accepts — the probe `colsort -plan` uses to predict a
 // run without executing it. Above-bound counts fail with ErrTooLarge (the
 // condition under which Sort switches to the hierarchical path; see
 // PlanHierarchical for that plan).
+func (e *Engine) PlanPadded(alg Algorithm, n int64) (core.Plan, error) {
+	return e.planPadded(alg, n)
+}
+
+// PlanPadded delegates to Engine.PlanPadded.
 func (s *Sorter) PlanPadded(alg Algorithm, n int64) (core.Plan, error) {
-	return s.planPadded(alg, n)
+	return s.e.PlanPadded(alg, n)
 }
 
 // planPadded finds the plan a padded sort of n records would execute: the
@@ -386,7 +376,7 @@ func (s *Sorter) PlanPadded(alg Algorithm, n int64) (core.Plan, error) {
 // may still violate a divisibility condition (or be smaller than one
 // column); growing continues until the planner accepts, or the
 // problem-size restriction says growing cannot help.
-func (s *Sorter) planPadded(alg Algorithm, n int64) (core.Plan, error) {
+func (e *Engine) planPadded(alg Algorithm, n int64) (core.Plan, error) {
 	if n < 1 {
 		return core.Plan{}, fmt.Errorf("colsort: cannot sort %d records", n)
 	}
@@ -402,7 +392,7 @@ func (s *Sorter) planPadded(alg Algorithm, n int64) (core.Plan, error) {
 	var lastErr error
 	last := n2
 	for try := n2; try > 0 && try <= 1<<52; try *= 2 {
-		pl, err := s.Plan(alg, try)
+		pl, err := e.Plan(alg, try)
 		if err == nil {
 			return pl, nil
 		}
@@ -416,30 +406,26 @@ func (s *Sorter) planPadded(alg Algorithm, n int64) (core.Plan, error) {
 		n, alg, n2, last, lastErr)
 }
 
-// SortStore sorts an existing input store (created via InputStore). The
-// input is preserved; the caller owns both stores.
-//
-// Deprecated: use Sort with FromStore.
-func (s *Sorter) SortStore(alg Algorithm, input *pdm.Store) (*Result, error) {
-	return s.Sort(context.Background(), FromStore(input), nil,
-		WithAlgorithm(alg), WithPadding(PadNever))
-}
-
 // InputStore allocates an input store shaped for the algorithm and n, to be
 // filled by the caller (e.g. via its Fill method).
-func (s *Sorter) InputStore(alg Algorithm, n int64) (*pdm.Store, error) {
-	pl, err := s.Plan(alg, n)
+func (e *Engine) InputStore(alg Algorithm, n int64) (*pdm.Store, error) {
+	pl, err := e.Plan(alg, n)
 	if err != nil {
 		return nil, err
 	}
-	return s.m.NewStore(pl.R, pl.S, pl.Z, pl.Layout)
+	return e.m.NewStore(pl.R, pl.S, pl.Z, pl.Layout)
+}
+
+// InputStore delegates to Engine.InputStore.
+func (s *Sorter) InputStore(alg Algorithm, n int64) (*pdm.Store, error) {
+	return s.e.InputStore(alg, n)
 }
 
 // Bound returns the paper's real-valued problem-size bound, in records, for
 // the algorithm under this configuration, treating MemPerProc as M/P.
-func (s *Sorter) Bound(alg Algorithm) (float64, error) {
-	m := int64(s.cfg.MemPerProc) * int64(s.cfg.Procs)
-	p := int64(s.cfg.Procs)
+func (e *Engine) Bound(alg Algorithm) (float64, error) {
+	m := int64(e.cfg.MemPerProc) * int64(e.cfg.Procs)
+	p := int64(e.cfg.Procs)
 	switch alg {
 	case Threaded, Threaded4:
 		return bounds.MaxN(bounds.Threaded, m, p), nil
@@ -452,3 +438,6 @@ func (s *Sorter) Bound(alg Algorithm) (float64, error) {
 	}
 	return 0, fmt.Errorf("colsort: no problem-size bound for %v", alg)
 }
+
+// Bound delegates to Engine.Bound.
+func (s *Sorter) Bound(alg Algorithm) (float64, error) { return s.e.Bound(alg) }

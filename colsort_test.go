@@ -1,6 +1,7 @@
 package colsort
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -31,7 +32,8 @@ func TestSortGeneratedAllAlgorithms(t *testing.T) {
 	}
 	for _, c := range cases {
 		s := newTestSorter(t, c.p, c.mem)
-		res, err := s.SortGenerated(c.alg, c.n, record.Uniform{Seed: 1})
+		res, err := s.Sort(context.Background(), Generate(record.Uniform{Seed: 1}, c.n), nil,
+			WithAlgorithm(c.alg), WithPadding(PadNever))
 		if err != nil {
 			t.Fatalf("%v: %v", c.alg, err)
 		}
@@ -58,7 +60,8 @@ func TestSortStoreRoundTrip(t *testing.T) {
 	if err := input.Fill(record.Zipf{Seed: 4}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.SortStore(Threaded, input)
+	res, err := s.Sort(context.Background(), FromStore(input), nil,
+		WithAlgorithm(Threaded), WithPadding(PadNever))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,8 +83,8 @@ func TestNewValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.cfg.Disks != 2 {
-		t.Fatalf("Disks defaulted to %d", s.cfg.Disks)
+	if s.e.cfg.Disks != 2 {
+		t.Fatalf("Disks defaulted to %d", s.e.cfg.Disks)
 	}
 }
 
@@ -147,7 +150,8 @@ func TestFileBackedSorter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.SortGenerated(Threaded, 256*4, record.Uniform{Seed: 9})
+	res, err := s.Sort(context.Background(), Generate(record.Uniform{Seed: 9}, 256*4), nil,
+		WithAlgorithm(Threaded), WithPadding(PadNever))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +163,8 @@ func TestFileBackedSorter(t *testing.T) {
 
 func TestBaselineThroughFacade(t *testing.T) {
 	s := newTestSorter(t, 2, 512)
-	res, err := s.SortGenerated(BaselineIO3, 512*4, record.Uniform{Seed: 2})
+	res, err := s.Sort(context.Background(), Generate(record.Uniform{Seed: 2}, 512*4), nil,
+		WithAlgorithm(BaselineIO3), WithPadding(PadNever))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,419 @@
+package colsort
+
+// The engine: sort-as-a-service. An Engine is the long-lived object that
+// owns the simulated machine — the pdm backends, the per-processor
+// record.Pool arenas, the spill-disk scratch directory — and hands out
+// per-job leases so N concurrent Engine.Sort calls share warm buffers
+// instead of each fragmenting its own. Admission is controlled by memory
+// budget: each job asks for the bytes its run plan needs (or its
+// WithMaxMemory cap, when given), the asks are debited against
+// EngineConfig.TotalMemory, and jobs that do not fit queue FIFO with
+// ctx-aware waiting (or fail fast under WithNoWait). Fault counters,
+// progress callbacks and cancellation stay job-scoped; the engine
+// accumulates per-job results into an engine-wide Stats snapshot. See
+// DESIGN.md §10 for the lifecycle and attribution contracts.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"colsort/internal/pdm"
+	"colsort/internal/record"
+	"colsort/internal/sim"
+)
+
+// ErrBusy is returned by Engine.Sort under WithNoWait when the job cannot
+// be admitted immediately — the engine's memory budget is exhausted or
+// earlier jobs are already queued. Detect with errors.Is; the job was not
+// started and may simply be retried later.
+var ErrBusy = errors.New("colsort: engine at capacity")
+
+// ErrEngineClosed is returned by Engine.Sort on a closed engine, and
+// delivered to any job still queued when Close is called.
+var ErrEngineClosed = errors.New("colsort: engine closed")
+
+// EngineConfig configures an Engine: the simulated cluster (Config, the
+// same construction-time description a Sorter takes) plus the engine-wide
+// admission budget.
+type EngineConfig struct {
+	Config
+	// TotalMemory is the engine-wide memory budget, in bytes, that
+	// concurrent jobs' asks are debited against. A job's ask is its
+	// WithMaxMemory cap when given, otherwise the record bytes of its run
+	// plan (N·RecordSize of the single run it executes — the dominant
+	// term of a job's footprint; stores, pools and merge chunks are all
+	// sized from it). 0 disables admission control: every job is admitted
+	// immediately.
+	TotalMemory int64
+}
+
+// Engine is a long-lived sorting service: one simulated machine (backends,
+// buffer-pool arena, scratch directory) serving any number of concurrent
+// Sort jobs under admission control. Create one with NewEngine, share it
+// freely — all methods are safe for concurrent use — and Close it when
+// done serving.
+//
+// Each Sort call becomes a job: it leases its memory ask from the engine,
+// runs on a value-copy of the machine that shares the engine's pools and
+// backend but carries the job's own retry policy, fault counters and
+// scratch namespace (pdm.JobScratchPrefix), and releases the lease when it
+// returns. Jobs never share mutable state beyond the concurrency-safe
+// pools, so their results are byte-identical to solo runs.
+type Engine struct {
+	cfg   Config
+	total int64
+	m     pdm.Machine
+
+	// jobSeq numbers jobs for scratch namespacing and Result.JobID.
+	jobSeq atomic.Int64
+
+	mu      sync.Mutex
+	drained *sync.Cond // signaled when active returns to 0 (Close waits on it)
+	closed  bool
+	leased  int64 // bytes currently leased to admitted jobs
+	peak    int64 // high-water mark of leased
+	active  int
+	queue   []*waiter
+
+	completed int64
+	failed    int64
+	cum       sim.Counters // engine passes of completed jobs
+	cumFaults FaultStats   // fault-tolerance activity of all jobs, failed included
+}
+
+// waiter is one queued admission request. granted and err are written
+// under Engine.mu strictly before ready is closed, so the admitted job
+// (or the canceller racing it) reads them consistently.
+type waiter struct {
+	ready   chan struct{}
+	ask     int64
+	granted bool
+	err     error
+}
+
+// lease is one admitted job's hold on the engine's memory budget.
+type lease struct {
+	e   *Engine
+	ask int64
+}
+
+// NewEngine validates the configuration, builds the shared machine
+// (probing a disk-array construction to surface configuration errors
+// eagerly) and returns an Engine ready to serve jobs.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.TotalMemory < 0 {
+		return nil, fmt.Errorf("colsort: negative TotalMemory %d", cfg.TotalMemory)
+	}
+	c := cfg.Config
+	if c.Disks == 0 {
+		c.Disks = c.Procs
+	}
+	if err := record.CheckSize(c.RecordSize); err != nil {
+		return nil, err
+	}
+	m := pdm.Machine{P: c.Procs, D: c.Disks, StripeBytes: c.StripeBytes,
+		Pools: record.NewPools(c.Procs)}
+	if c.Dir != "" {
+		m.Backend = pdm.FileBackend{Dir: c.Dir}
+	}
+	if c.Async {
+		m.Async = &pdm.AsyncConfig{ReadAhead: c.ReadAhead, WriteBehind: c.WriteBehind}
+	}
+	if c.DiskSeekMicros > 0 || c.DiskMBps > 0 {
+		m.Delay = &pdm.DelayConfig{
+			Seek:        time.Duration(c.DiskSeekMicros) * time.Microsecond,
+			BytesPerSec: int64(c.DiskMBps) << 20,
+		}
+	}
+	m.Chaos = chaosToPDM(c.Chaos)
+	probe, err := m.NewArrays()
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range probe { // validation only: release files and workers
+		a.Close()
+	}
+	e := &Engine{cfg: c, total: cfg.TotalMemory, m: m}
+	e.drained = sync.NewCond(&e.mu)
+	return e, nil
+}
+
+// chaosToPDM converts the public chaos configuration to the pdm layer's;
+// nil stays nil (chaos disabled).
+func chaosToPDM(c *ChaosConfig) *pdm.ChaosConfig {
+	if c == nil {
+		return nil
+	}
+	return &pdm.ChaosConfig{
+		Seed:           c.Seed,
+		PTransient:     c.PTransient,
+		PBitFlip:       c.PBitFlip,
+		PTorn:          c.PTorn,
+		TornSpillWrite: c.TornSpillWrite,
+		FlipSpillRead:  c.FlipSpillRead,
+		DeadSpillDisk:  c.DeadSpillDisk,
+		DeadSpillAfter: c.DeadSpillAfter,
+	}
+}
+
+// Close marks the engine closed, fails every queued job with
+// ErrEngineClosed, and blocks until the active jobs drain. Idempotent;
+// always returns nil (the jobs own their errors).
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		for e.active > 0 {
+			e.drained.Wait()
+		}
+		return nil
+	}
+	e.closed = true
+	for _, w := range e.queue {
+		w.err = ErrEngineClosed
+		close(w.ready)
+	}
+	e.queue = nil
+	for e.active > 0 {
+		e.drained.Wait()
+	}
+	return nil
+}
+
+// admit leases ask bytes from the engine's budget, queueing FIFO behind
+// earlier waiters when the budget (or the queue's head-of-line position)
+// does not admit the job immediately. Queueing is strict FIFO — only the
+// head of the queue is ever granted — so a large ask cannot be starved by
+// a stream of small ones. Cancelling ctx while queued returns promptly
+// with ctx.Err().
+func (e *Engine) admit(ctx context.Context, ask int64, noWait bool) (*lease, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrEngineClosed
+	}
+	if e.total > 0 && ask > e.total {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("colsort: job asks %d bytes but the engine's TotalMemory is %d: the ask can never be admitted (raise TotalMemory or lower the job's WithMaxMemory)", ask, e.total)
+	}
+	if len(e.queue) == 0 && e.fits(ask) {
+		e.grant(ask)
+		e.mu.Unlock()
+		return &lease{e: e, ask: ask}, nil
+	}
+	if noWait {
+		leased, queued := e.leased, len(e.queue)
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d bytes asked, %d of %d leased, %d jobs queued", ErrBusy, ask, leased, e.total, queued)
+	}
+	w := &waiter{ready: make(chan struct{}), ask: ask}
+	e.queue = append(e.queue, w)
+	e.mu.Unlock()
+	select {
+	case <-w.ready:
+		if w.err != nil {
+			return nil, w.err
+		}
+		return &lease{e: e, ask: ask}, nil
+	case <-ctx.Done():
+		e.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation: the lease exists, so give
+			// it back (waking whoever is next) before reporting the cancel.
+			e.mu.Unlock()
+			(&lease{e: e, ask: ask}).release()
+			return nil, ctx.Err()
+		}
+		for i, q := range e.queue {
+			if q == w {
+				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				break
+			}
+		}
+		e.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// fits reports whether ask bytes fit the remaining budget. Caller holds mu.
+func (e *Engine) fits(ask int64) bool {
+	return e.total <= 0 || e.leased+ask <= e.total
+}
+
+// grant debits ask from the budget and counts the job active. Caller
+// holds mu.
+func (e *Engine) grant(ask int64) {
+	e.leased += ask
+	if e.leased > e.peak {
+		e.peak = e.leased
+	}
+	e.active++
+}
+
+// wake admits queued jobs head-first while they fit. Caller holds mu.
+func (e *Engine) wake() {
+	for len(e.queue) > 0 && e.fits(e.queue[0].ask) {
+		w := e.queue[0]
+		e.queue = e.queue[1:]
+		w.granted = true
+		e.grant(w.ask)
+		close(w.ready)
+	}
+}
+
+// release returns the lease to the budget, wakes admissible waiters, and
+// signals Close when the engine has drained.
+func (l *lease) release() {
+	e := l.e
+	e.mu.Lock()
+	e.leased -= l.ask
+	e.active--
+	e.wake()
+	if e.active == 0 {
+		e.drained.Broadcast()
+	}
+	e.mu.Unlock()
+}
+
+// job is one admitted Sort: the engine pointer, the job's id (which names
+// its scratch namespace), the per-job machine view, and the job's own
+// fault counters — isolation that keeps Result.Faults attributable under
+// concurrency, where a shared counter's delta would interleave jobs.
+type job struct {
+	e      *Engine
+	id     int64
+	m      pdm.Machine
+	faults pdm.FaultStats
+}
+
+// newJob builds the per-job machine: a value copy of the engine's machine
+// — sharing the concurrency-safe buffer pools and the backend — with the
+// job's fabric choice, any per-job Config overrides (WithAsync,
+// WithDiskModel, WithChaos), a retry layer wired to the job's context and
+// fault counters, and scratch namespaced by the job id so concurrent jobs
+// can never collide in a shared scratch directory.
+func (e *Engine) newJob(ctx context.Context, o sortOptions) *job {
+	j := &job{e: e, id: e.jobSeq.Add(1)}
+	m := e.m
+	m.CopyFabric = o.fabric == FabricCopying
+	if o.asyncSet {
+		if o.async {
+			if m.Async == nil {
+				m.Async = &pdm.AsyncConfig{ReadAhead: e.cfg.ReadAhead, WriteBehind: e.cfg.WriteBehind}
+			}
+		} else {
+			m.Async = nil
+		}
+	}
+	if o.delaySet {
+		if o.delaySeek > 0 || o.delayMBps > 0 {
+			m.Delay = &pdm.DelayConfig{Seek: o.delaySeek, BytesPerSec: int64(o.delayMBps) << 20}
+		} else {
+			m.Delay = nil
+		}
+	}
+	if o.chaosSet {
+		m.Chaos = chaosToPDM(o.chaos)
+	}
+	rc := pdm.RetryConfig{Cancel: ctx.Done(), Stats: &j.faults}
+	if p := o.retry; p != nil {
+		rc.MaxAttempts = p.MaxAttempts
+		rc.BaseDelay = p.BaseDelay
+		rc.MaxDelay = p.MaxDelay
+	}
+	m.Retry = &rc
+	j.m = m.Namespaced(pdm.JobScratchPrefix(j.id))
+	return j
+}
+
+// faultStats reads the job's fault counters into the public report.
+func (j *job) faultStats() FaultStats {
+	d := j.faults.Snapshot()
+	return FaultStats{
+		DiskRetries:   d.Retries,
+		DiskGiveUps:   d.GaveUps,
+		CorruptChunks: d.CorruptChunks,
+		ChunkRereads:  d.Rereads,
+		BatchRedos:    d.BatchRedos,
+	}
+}
+
+// finishJob folds one finished job into the engine's cumulative stats.
+func (e *Engine) finishJob(res *Result, faults FaultStats, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err != nil {
+		e.failed++
+	} else {
+		e.completed++
+	}
+	if res != nil && res.Result != nil {
+		e.cum.Add(res.Result.TotalCounters())
+	}
+	e.cumFaults.accumulate(faults)
+}
+
+// accumulate adds d's fields into f.
+func (f *FaultStats) accumulate(d FaultStats) {
+	f.DiskRetries += d.DiskRetries
+	f.DiskGiveUps += d.DiskGiveUps
+	f.CorruptChunks += d.CorruptChunks
+	f.ChunkRereads += d.ChunkRereads
+	f.BatchRedos += d.BatchRedos
+}
+
+// EngineStats is a point-in-time snapshot of an Engine; see Engine.Stats.
+type EngineStats struct {
+	// ActiveJobs and QueuedJobs count the jobs currently running and
+	// currently waiting for admission.
+	ActiveJobs int
+	QueuedJobs int
+	// CompletedJobs and FailedJobs count the jobs that have finished over
+	// the engine's lifetime (a cancelled job counts as failed).
+	CompletedJobs int64
+	FailedJobs    int64
+	// LeasedBytes is the sum of the active jobs' asks; PeakLeasedBytes its
+	// lifetime high-water mark — always ≤ TotalMemory when a budget is set,
+	// which is the admission-control invariant tests pin.
+	LeasedBytes     int64
+	PeakLeasedBytes int64
+	TotalMemory     int64
+	// PoolFreeBuffers / PoolFreeBytes report the warm buffer arena: idle
+	// buffers (and their total capacity) currently held by the engine's
+	// per-processor pools, ready for the next job.
+	PoolFreeBuffers int
+	PoolFreeBytes   int64
+	// Counters is the cumulative engine-pass accounting of every completed
+	// job (the sum of their Result.TotalCounters without fault fields);
+	// Faults the cumulative fault-tolerance activity of every job, failed
+	// jobs included.
+	Counters sim.Counters
+	Faults   FaultStats
+}
+
+// Stats returns a consistent snapshot of the engine's admission state and
+// cumulative accounting, plus the current buffer-pool occupancy.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	st := EngineStats{
+		ActiveJobs:      e.active,
+		QueuedJobs:      len(e.queue),
+		CompletedJobs:   e.completed,
+		FailedJobs:      e.failed,
+		LeasedBytes:     e.leased,
+		PeakLeasedBytes: e.peak,
+		TotalMemory:     e.total,
+		Counters:        e.cum,
+		Faults:          e.cumFaults,
+	}
+	e.mu.Unlock()
+	for _, p := range e.m.Pools {
+		st.PoolFreeBuffers += p.FreeBuffers()
+		st.PoolFreeBytes += p.FreeBytes()
+	}
+	return st
+}

@@ -8,34 +8,26 @@ import (
 	"colsort/internal/core"
 )
 
-// PlanFile reports the plan SortFile (or Sort with FromFile) would execute
-// for the file at inPath: its record count padded to the first sortable
-// power of two. It lets callers (and `colsort -in ... -plan`) price a file
-// sort without running it.
-func (s *Sorter) PlanFile(alg Algorithm, inPath string) (core.Plan, error) {
+// PlanFile reports the plan Sort with FromFile would execute for the file
+// at inPath: its record count padded to the first sortable power of two.
+// It lets callers (and `colsort -in ... -plan`) price a file sort without
+// running it.
+func (e *Engine) PlanFile(alg Algorithm, inPath string) (core.Plan, error) {
 	info, err := os.Stat(inPath)
 	if err != nil {
 		return core.Plan{}, fmt.Errorf("colsort: %w", err)
 	}
-	z := s.cfg.RecordSize
+	z := e.cfg.RecordSize
 	if info.Size() == 0 || info.Size()%int64(z) != 0 {
 		return core.Plan{}, fmt.Errorf("colsort: input %s is %d bytes, not a positive multiple of the record size %d",
 			inPath, info.Size(), z)
 	}
-	return s.planPadded(alg, info.Size()/int64(z))
+	return e.planPadded(alg, info.Size()/int64(z))
 }
 
-// SortFile sorts the RecordSize-byte records of the file at inPath into a
-// newly created file at outPath — the end-to-end "sort a file" path. Any
-// record count ≥ 1 is accepted (the run is padded to the next sortable
-// power of two) and the output is verified before outPath is written, so a
-// failed sort never leaves a plausible output file behind.
-//
-// Deprecated: use Sort with FromFile and ToFile, which additionally takes
-// a context and the full option set (key schema, progress, padding
-// policy).
-func (s *Sorter) SortFile(alg Algorithm, inPath, outPath string) (*Result, error) {
-	return s.Sort(context.Background(), FromFile(inPath), ToFile(outPath), WithAlgorithm(alg))
+// PlanFile delegates to Engine.PlanFile.
+func (s *Sorter) PlanFile(alg Algorithm, inPath string) (core.Plan, error) {
+	return s.e.PlanFile(alg, inPath)
 }
 
 // WriteFile streams the sorted records (excluding any power-of-two padding,

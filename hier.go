@@ -39,7 +39,7 @@ const defaultRedoBudget = 2
 // (runs + merge) path: the record count exceeds the algorithm's single-run
 // problem-size bound, or a WithMaxMemory cap forces smaller runs. Hybrid
 // group runs and PadNever sorts keep their strict single-run contracts.
-func (s *Sorter) wantHierarchical(o sortOptions, pl core.Plan, plErr error) (bool, error) {
+func (e *Engine) wantHierarchical(o sortOptions, pl core.Plan, plErr error) (bool, error) {
 	eligible := o.group == 0 && o.padding == PadAuto
 	if plErr == nil {
 		if o.maxMemory > 0 && pl.N*int64(pl.Z) > o.maxMemory {
@@ -58,13 +58,13 @@ func (s *Sorter) wantHierarchical(o sortOptions, pl core.Plan, plErr error) (boo
 // run under the configuration and the WithMaxMemory cap. The last, partial
 // batch is padded up to this same shape (with maximal records, trimmed at
 // spill time), so every batch reuses one plan and one fabric.
-func (s *Sorter) planRun(o sortOptions) (core.Plan, error) {
-	z := int64(s.cfg.RecordSize)
+func (e *Engine) planRun(o sortOptions) (core.Plan, error) {
+	z := int64(e.cfg.RecordSize)
 	var best core.Plan
 	var smallest int64 // smallest plannable run, for the error message
 	found := false
 	for try := int64(1); try > 0 && try <= 1<<52; try *= 2 {
-		pl, err := s.Plan(o.alg, try)
+		pl, err := e.Plan(o.alg, try)
 		if err != nil {
 			continue
 		}
@@ -79,7 +79,7 @@ func (s *Sorter) planRun(o sortOptions) (core.Plan, error) {
 	if !found {
 		if o.maxMemory > 0 && smallest > 0 {
 			return core.Plan{}, fmt.Errorf("colsort: WithMaxMemory(%d) admits no single %v run (the smallest plannable run is %d records × %d B = %d bytes); raise the cap or shrink MemPerProc",
-				o.maxMemory, o.alg, smallest, s.cfg.RecordSize, smallest*z)
+				o.maxMemory, o.alg, smallest, e.cfg.RecordSize, smallest*z)
 		}
 		return core.Plan{}, fmt.Errorf("colsort: no single-run plan exists for %v under this configuration", o.alg)
 	}
@@ -91,10 +91,10 @@ func (s *Sorter) planRun(o sortOptions) (core.Plan, error) {
 // streams plus the emit queue stay within a WithMaxMemory cap, clamped so
 // chunks stay large enough to amortize per-chunk costs yet bounded in
 // memory.
-func (s *Sorter) mergeChunkRecs(o sortOptions, fanIn int) int {
-	c := s.cfg.MemPerProc / 2
+func (e *Engine) mergeChunkRecs(o sortOptions, fanIn int) int {
+	c := e.cfg.MemPerProc / 2
 	if o.maxMemory > 0 {
-		if byBudget := int(o.maxMemory / int64((fanIn+4)*s.cfg.RecordSize)); byBudget < c {
+		if byBudget := int(o.maxMemory / int64((fanIn+4)*e.cfg.RecordSize)); byBudget < c {
 			c = byBudget
 		}
 	}
@@ -112,14 +112,14 @@ func (s *Sorter) mergeChunkRecs(o sortOptions, fanIn int) int {
 // largest plannable run, optionally capped at maxMemory bytes of records;
 // 0 means no cap) and the number of run-formation batches. It lets callers
 // and `colsort -plan` price an above-bound sort without running it.
-func (s *Sorter) PlanHierarchical(alg Algorithm, n int64, maxMemory int64) (runPlan core.Plan, batches int, err error) {
+func (e *Engine) PlanHierarchical(alg Algorithm, n int64, maxMemory int64) (runPlan core.Plan, batches int, err error) {
 	if n < 1 {
 		return core.Plan{}, 0, fmt.Errorf("colsort: cannot sort %d records", n)
 	}
 	if maxMemory < 0 {
 		return core.Plan{}, 0, fmt.Errorf("colsort: negative run-size cap %d", maxMemory)
 	}
-	runPlan, err = s.planRun(sortOptions{alg: alg, maxMemory: maxMemory})
+	runPlan, err = e.planRun(sortOptions{alg: alg, maxMemory: maxMemory})
 	if err != nil {
 		return core.Plan{}, 0, err
 	}
@@ -127,24 +127,15 @@ func (s *Sorter) PlanHierarchical(alg Algorithm, n int64, maxMemory int64) (runP
 }
 
 // sortHierarchical executes the runs-plus-merge plan for n records arriving
-// on rd, on the per-sort machine m. The caller has already compiled the
-// codec and validated the options; rd is closed by Sort's defer.
-func (s *Sorter) sortHierarchical(ctx context.Context, m pdm.Machine, rd RecordReader, dst Sink, o sortOptions, codec record.KeyCodec, n int64) (*Result, error) {
-	if dst == nil {
-		// Wrap ErrTooLarge: callers branching on the sentinel (the legacy
-		// above-bound failure mode) must keep matching when the only thing
-		// missing is a Sink.
-		return nil, fmt.Errorf("colsort: %d records exceed the single-run bound (%w) and must stream through the hierarchical merge: pass a non-nil Sink (Discard() drops the output)", n, core.ErrTooLarge)
-	}
-	runPl, err := s.planRun(o)
-	if err != nil {
-		return nil, err
-	}
+// on rd, on the job's machine. The caller has already compiled the codec,
+// validated the options, checked dst is non-nil, and chosen runPl; rd is
+// closed by Sort's defer.
+func (j *job) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink, o sortOptions, codec record.KeyCodec, n int64, runPl core.Plan) (*Result, error) {
 	fanIn := o.fanIn
 	if fanIn == 0 {
 		fanIn = defaultMergeFanIn
 	}
-	chunk := s.mergeChunkRecs(o, fanIn)
+	chunk := j.e.mergeChunkRecs(o, fanIn)
 	nBatches := int((n + runPl.N - 1) / runPl.N)
 	stats := &MergeStats{FanIn: fanIn, RunRecords: runPl.N}
 
@@ -155,7 +146,7 @@ func (s *Sorter) sortHierarchical(ctx context.Context, m pdm.Machine, rd RecordR
 	// opt-in otherwise — on healthy storage it costs one extra sequential
 	// read of every spilled byte to detect nothing.
 	redoBudget := defaultRedoBudget
-	scrub := m.Chaos != nil
+	scrub := j.m.Chaos != nil
 	if o.retry != nil {
 		if o.retry.RedoBudget != 0 {
 			redoBudget = o.retry.RedoBudget
@@ -166,7 +157,7 @@ func (s *Sorter) sortHierarchical(ctx context.Context, m pdm.Machine, rd RecordR
 		scrub = scrub || o.retry.Scrub
 	}
 
-	br, err := core.NewBatchRunner(ctx, runPl, m)
+	br, err := core.NewBatchRunner(ctx, runPl, j.m)
 	if err != nil {
 		return nil, err
 	}
@@ -174,7 +165,7 @@ func (s *Sorter) sortHierarchical(ctx context.Context, m pdm.Machine, rd RecordR
 
 	spillSeq := 0
 	newSpill := func() (pdm.Disk, error) {
-		d, err := m.NewSpillDisk(spillSeq)
+		d, err := j.m.NewSpillDisk(spillSeq)
 		spillSeq++
 		return d, err
 	}
@@ -202,7 +193,7 @@ func (s *Sorter) sortHierarchical(ctx context.Context, m pdm.Machine, rd RecordR
 			real = runPl.N
 		}
 		remaining -= real
-		input, err := runPl.NewStore(m)
+		input, err := runPl.NewStore(j.m)
 		if err != nil {
 			return nil, err
 		}
@@ -220,7 +211,7 @@ func (s *Sorter) sortHierarchical(ctx context.Context, m pdm.Machine, rd RecordR
 				fn(ev)
 			}
 		}
-		run, err := s.formRun(ctx, br, input, hooks, real, cs, newSpill, chunk,
+		run, err := j.formRun(ctx, br, input, hooks, real, cs, newSpill, chunk,
 			scrub, redoBudget, &passCnts, b+1, nBatches)
 		input.Close()
 		if err != nil {
@@ -235,8 +226,8 @@ func (s *Sorter) sortHierarchical(ctx context.Context, m pdm.Machine, rd RecordR
 	// Merge tree: reduce the run set level by level until one merge fans
 	// into the sink. The merges verify every CRC frame they load, healing
 	// transient read corruption with a reread and counting both into the
-	// sort's fault stats.
-	opt := merge.Options{ChunkRecs: chunk, Faults: &s.faults}
+	// job's fault stats.
+	opt := merge.Options{ChunkRecs: chunk, Faults: &j.faults}
 	for len(live) > fanIn {
 		stats.Levels++
 		next := make([]*merge.Run, 0, (len(live)+fanIn-1)/fanIn)
@@ -280,7 +271,7 @@ func (s *Sorter) sortHierarchical(ctx context.Context, m pdm.Machine, rd RecordR
 	// the cost that a late failure means the sink has already received
 	// bytes that must be discarded (Sort reports the error either way).
 	stats.Levels++
-	w, err := dst.Open(s.cfg.RecordSize)
+	w, err := dst.Open(j.e.cfg.RecordSize)
 	if err != nil {
 		return nil, err
 	}
@@ -330,7 +321,7 @@ func (s *Sorter) sortHierarchical(ctx context.Context, m pdm.Machine, rd RecordR
 // batch poisons the fabric, and every later Run would return the fabric's
 // error anyway. Counters of every attempt accumulate into passCnts — redone
 // work is still work performed.
-func (s *Sorter) formRun(ctx context.Context, br *core.BatchRunner, input *pdm.Store, hooks core.Hooks, real int64, cs record.Checksum, newSpill func() (pdm.Disk, error), chunk int, scrub bool, redoBudget int, passCnts *[][]sim.Counters, batch, batches int) (*merge.Run, error) {
+func (j *job) formRun(ctx context.Context, br *core.BatchRunner, input *pdm.Store, hooks core.Hooks, real int64, cs record.Checksum, newSpill func() (pdm.Disk, error), chunk int, scrub bool, redoBudget int, passCnts *[][]sim.Counters, batch, batches int) (*merge.Run, error) {
 	for attempt := 0; ; attempt++ {
 		res, err := br.Run(input, hooks)
 		if err != nil {
@@ -359,7 +350,7 @@ func (s *Sorter) formRun(ctx context.Context, br *core.BatchRunner, input *pdm.S
 				// Read the spilled bytes back against their CRC frames NOW,
 				// while the batch can still be redone — at merge time the
 				// input is gone and persistent spill corruption is fatal.
-				if err := r.Scrub(ctx, &s.faults); err != nil {
+				if err := r.Scrub(ctx, &j.faults); err != nil {
 					r.Close()
 					return nil, fmt.Errorf("run %d of %d: %w", batch, batches, err)
 				}
@@ -379,7 +370,7 @@ func (s *Sorter) formRun(ctx context.Context, br *core.BatchRunner, input *pdm.S
 			}
 			return nil, fmt.Errorf("colsort: %w", ferr)
 		}
-		s.faults.BatchRedos.Add(1)
+		j.faults.BatchRedos.Add(1)
 	}
 }
 

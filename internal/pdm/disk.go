@@ -236,8 +236,14 @@ func (MemBackend) Name() string { return "mem" }
 // FileBackend builds file disks under Dir. Several stores (input, the
 // intermediate file of each pass, output) coexist on the same simulated
 // hardware, so each created disk gets a unique generation suffix — without
-// it a new store would truncate a live one's backing files.
-type FileBackend struct{ Dir string }
+// it a new store would truncate a live one's backing files. Prefix, when
+// non-empty, leads every created file's name: an engine serving concurrent
+// jobs from one scratch directory namespaces each job's scratch with it, so
+// the jobs can never collide and any leftover file names its job.
+type FileBackend struct {
+	Dir    string
+	Prefix string
+}
 
 var fileDiskSeq atomic.Int64
 
@@ -246,6 +252,29 @@ func (b FileBackend) NewDisk(idx int) (Disk, error) {
 		return nil, err
 	}
 	gen := fileDiskSeq.Add(1)
-	return NewFileDisk(filepath.Join(b.Dir, fmt.Sprintf("disk%03d-g%05d.dat", idx, gen)))
+	return NewFileDisk(filepath.Join(b.Dir, fmt.Sprintf("%sdisk%03d-g%05d.dat", b.Prefix, idx, gen)))
 }
 func (b FileBackend) Name() string { return "file" }
+
+// Namespaced returns a copy of the backend whose disks carry the given
+// scratch-file name prefix (see FileBackend.Prefix).
+func (b FileBackend) Namespaced(prefix string) Backend {
+	b.Prefix = prefix
+	return b
+}
+
+// Namespacer is implemented by backends whose scratch lives in a shared
+// location and can be namespaced per client. Backends without shareable
+// scratch (MemBackend) simply don't implement it.
+type Namespacer interface {
+	// Namespaced returns a backend equivalent to the receiver whose
+	// created disks are identifiable by (and cannot collide outside of)
+	// the given namespace prefix.
+	Namespaced(prefix string) Backend
+}
+
+// JobScratchPrefix is the canonical scratch-file namespace of engine job
+// id — the contract between the engine (which namespaces each job's
+// machine with it) and the leak checkers (which assert a finished job left
+// nothing carrying it behind).
+func JobScratchPrefix(id int64) string { return fmt.Sprintf("job%05d-", id) }

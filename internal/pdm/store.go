@@ -291,6 +291,18 @@ type Machine struct {
 // DefaultStripeBytes is the striping unit used when none is specified.
 const DefaultStripeBytes = 64 << 10
 
+// Namespaced returns a copy of the machine whose backend prefixes every
+// scratch resource it creates with ns (when the backend supports
+// namespacing — see Namespacer). An engine running concurrent jobs gives
+// each job's machine copy its own namespace so the jobs' scratch files
+// can never collide in a shared directory and leftovers are attributable.
+func (m Machine) Namespaced(ns string) Machine {
+	if b, ok := m.Backend.(Namespacer); ok {
+		m.Backend = b.Namespaced(ns)
+	}
+	return m
+}
+
 // NewArrays builds the per-processor disk arrays: processor p owns disks
 // {p, p+P, p+2P, ...}, matching the paper's disk-ownership rule.
 func (m Machine) NewArrays() ([]*DiskArray, error) {

@@ -138,6 +138,24 @@ func (p *Pool) FreeBuffers() int {
 	return total
 }
 
+// FreeBytes reports the total capacity, in bytes, of the idle buffers
+// currently held — the pool-occupancy figure an engine's stats snapshot
+// reports as warm reusable memory.
+func (p *Pool) FreeBytes() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total int64
+	for _, c := range p.classes {
+		for _, b := range c {
+			total += int64(cap(b))
+		}
+	}
+	return total
+}
+
 // headerFree recycles the small []Slice scratch arrays (per-destination
 // message vectors, per-column write vectors) that travel between pipeline
 // stages alongside pooled record buffers. A plain free list rather than a

@@ -7,6 +7,7 @@ import (
 	"io/fs"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 )
@@ -39,23 +40,44 @@ func CheckGoroutines(t testing.TB) {
 	})
 }
 
+// StrayFiles lists the regular files under dir whose base name starts with
+// prefix (an empty prefix matches every file). It is the primitive behind
+// both whole-directory and per-job-namespace leak checks.
+func StrayFiles(dir, prefix string) []string {
+	var stray []string
+	_ = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && (prefix == "" || strings.HasPrefix(d.Name(), prefix)) {
+			stray = append(stray, path)
+		}
+		return nil
+	})
+	return stray
+}
+
 // CheckScratchDir registers a cleanup that fails the test if any regular
 // file remains under dir — every scratch file (FileDisk backings, spilled
 // runs) must have been removed by the paths under test.
 func CheckScratchDir(t testing.TB, dir string) {
 	t.Helper()
 	t.Cleanup(func() {
-		var stray []string
-		_ = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
-			if err == nil && !d.IsDir() {
-				stray = append(stray, path)
-			}
-			return nil
-		})
-		if len(stray) != 0 {
+		if stray := StrayFiles(dir, ""); len(stray) != 0 {
 			t.Errorf("scratch files leaked under %s: %v", dir, stray)
 		}
 	})
+}
+
+// CheckNoStray fails the test IMMEDIATELY if any scratch file whose name
+// carries the given prefix remains under dir. It is the cross-job leak
+// check of a concurrent engine: call it the moment one job finishes —
+// while other jobs are still running and the directory is anything but
+// empty — to assert that the finished job's namespaced scratch
+// (pdm.JobScratchPrefix) is gone without waiting for the whole engine to
+// drain.
+func CheckNoStray(t testing.TB, dir, prefix string) {
+	t.Helper()
+	if stray := StrayFiles(dir, prefix); len(stray) != 0 {
+		t.Errorf("scratch files of namespace %q leaked under %s: %v", prefix, dir, stray)
+	}
 }
 
 // CheckLeaks combines CheckGoroutines and, when dir is non-empty,

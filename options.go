@@ -92,7 +92,10 @@ type RetryPolicy struct {
 	Scrub bool
 }
 
-// sortOptions collects the functional options of one Sort call.
+// sortOptions collects the functional options of one Sort call. The
+// machine-override fields (async, delay, chaos) are tri-state: a set flag
+// records that the option was passed at all, so a job can explicitly turn
+// a Config-enabled feature OFF, not just on.
 type sortOptions struct {
 	alg       Algorithm
 	group     int // hybrid group size; 0 selects the non-hybrid alg
@@ -103,9 +106,25 @@ type sortOptions struct {
 	fanIn     int   // merge fan-in; 0 = defaultMergeFanIn
 	fabric    Fabric
 	retry     *RetryPolicy
+	noWait    bool // fail with ErrBusy instead of queueing for admission
+
+	asyncSet  bool
+	async     bool
+	delaySet  bool
+	delaySeek time.Duration
+	delayMBps int
+	chaosSet  bool
+	chaos     *ChaosConfig
 }
 
 // Option customizes one Sort call; see the With* constructors.
+//
+// Precedence rule: Config fields describe the engine at construction time;
+// an Option that names the same knob (WithAsync over Config.Async,
+// WithDiskModel over DiskSeekMicros/DiskMBps, WithChaos over Config.Chaos,
+// WithRetry over the default retry policy) overrides the Config for THAT
+// JOB ONLY — the engine's configuration and every concurrent job keep the
+// Config's behavior. Options never mutate the engine.
 type Option func(*sortOptions)
 
 // WithAlgorithm selects the out-of-core sorting program (default Threaded).
@@ -178,6 +197,38 @@ func WithFabric(f Fabric) Option {
 // fault-tolerance fields of Result.TotalCounters.
 func WithRetry(p RetryPolicy) Option {
 	return func(o *sortOptions) { o.retry = &p }
+}
+
+// WithNoWait makes the Sort fail fast with ErrBusy when the engine cannot
+// admit the job immediately (its memory budget is exhausted or earlier
+// jobs are queued), instead of queueing FIFO for a lease. The default is
+// to wait; cancelling the job's context abandons the wait either way.
+func WithNoWait() Option {
+	return func(o *sortOptions) { o.noWait = true }
+}
+
+// WithAsync enables (or, with false, disables) the asynchronous disk layer
+// for this job, overriding Config.Async. Enabling on a sync-configured
+// engine uses the engine's ReadAhead/WriteBehind queue bounds. Operation
+// counts are identical either way.
+func WithAsync(on bool) Option {
+	return func(o *sortOptions) { o.asyncSet, o.async = true, on }
+}
+
+// WithDiskModel imposes a per-operation disk service time on this job's
+// disks (seek per discontiguous access plus bytes/bandwidth), overriding
+// Config.DiskSeekMicros/DiskMBps. A zero seek AND zero mbps removes any
+// engine-configured delay model for this job.
+func WithDiskModel(seek time.Duration, mbps int) Option {
+	return func(o *sortOptions) { o.delaySet, o.delaySeek, o.delayMBps = true, seek, mbps }
+}
+
+// WithChaos injects seeded storage faults under this job's disks,
+// overriding Config.Chaos for this job only — concurrent jobs on the same
+// engine stay healthy. A nil c disables chaos for this job on a
+// chaos-configured engine. See Config.Chaos and DESIGN.md §9.
+func WithChaos(c *ChaosConfig) Option {
+	return func(o *sortOptions) { o.chaosSet, o.chaos = true, c }
 }
 
 // WithProgress registers a callback receiving pass/round completion events

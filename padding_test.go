@@ -1,18 +1,25 @@
 package colsort
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
 	"colsort/internal/record"
 )
 
+// sortAny sorts n generated records under PadAuto — the padding path the
+// removed SortGeneratedAny wrapper used to expose.
+func sortAny(s *Sorter, alg Algorithm, n int64, g record.Generator) (*Result, error) {
+	return s.Sort(context.Background(), Generate(g, n), nil, WithAlgorithm(alg))
+}
+
 // TestSortAnyArbitrarySizes removes the power-of-two requirement: arbitrary
 // record counts must sort via padding (Section-6 future-work item).
 func TestSortAnyArbitrarySizes(t *testing.T) {
 	s := newTestSorter(t, 4, 512)
 	for _, n := range []int64{1, 2, 3, 100, 511, 513, 1000, 1025, 3000, 4095} {
-		res, err := s.SortGeneratedAny(Threaded, n, record.Uniform{Seed: uint64(n)})
+		res, err := sortAny(s, Threaded, n, record.Uniform{Seed: uint64(n)})
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -29,7 +36,7 @@ func TestSortAnyArbitrarySizes(t *testing.T) {
 func TestSortAnyExactPowerOfTwo(t *testing.T) {
 	// A power-of-two n must behave like the plain path (no pads).
 	s := newTestSorter(t, 4, 512)
-	res, err := s.SortGeneratedAny(Threaded, 2048, record.Uniform{Seed: 5})
+	res, err := sortAny(s, Threaded, 2048, record.Uniform{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +54,7 @@ func TestSortAnyWithMaxKeyRecords(t *testing.T) {
 	// prefix check (they are byte-identical to pads, so interchangeable).
 	s := newTestSorter(t, 2, 512)
 	g := allOnes{}
-	res, err := s.SortGeneratedAny(Threaded, 700, g)
+	res, err := sortAny(s, Threaded, 700, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +90,7 @@ func TestSortAnyAllAlgorithms(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := s.SortGeneratedAny(c.alg, c.n, record.Dup{Seed: 3, K: 5})
+		res, err := sortAny(s, c.alg, c.n, record.Dup{Seed: 3, K: 5})
 		if err != nil {
 			t.Fatalf("%v n=%d: %v", c.alg, c.n, err)
 		}
@@ -96,7 +103,7 @@ func TestSortAnyAllAlgorithms(t *testing.T) {
 
 func TestSortAnyRejectsNonPositive(t *testing.T) {
 	s := newTestSorter(t, 2, 512)
-	if _, err := s.SortGeneratedAny(Threaded, 0, record.Uniform{Seed: 1}); err == nil {
+	if _, err := sortAny(s, Threaded, 0, record.Uniform{Seed: 1}); err == nil {
 		t.Fatal("n=0 accepted")
 	}
 }
@@ -105,7 +112,7 @@ func TestSortAnyQuick(t *testing.T) {
 	s := newTestSorter(t, 2, 512)
 	f := func(nRaw uint16, seed uint64) bool {
 		n := int64(nRaw%2000) + 1
-		res, err := s.SortGeneratedAny(Threaded, n, record.Uniform{Seed: seed})
+		res, err := sortAny(s, Threaded, n, record.Uniform{Seed: seed})
 		if err != nil {
 			return false
 		}
@@ -125,7 +132,8 @@ func TestHybridThroughFacade(t *testing.T) {
 	if _, err := s.PlanHybrid(1, 1024); err == nil {
 		t.Fatal("g=1 accepted")
 	}
-	res, err := s.SortGeneratedHybrid(2, 512*4, record.Zipf{Seed: 8})
+	res, err := s.Sort(context.Background(), Generate(record.Zipf{Seed: 8}, 512*4), nil,
+		WithHybridGroup(2))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# apidiff.sh — gate exported-API removals on the allowlist.
+#
+# Regenerates the API golden from the working tree, then compares it with
+# the golden committed at BASE (default HEAD~1). Any symbol present at
+# BASE but missing now must match a prefix line of api/removed.txt, or
+# the script fails. Additions are reported but never fail: the gate
+# protects consumers from silent breakage, not from growth.
+#
+# Usage: scripts/apidiff.sh [BASE]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+base="${1:-HEAD~1}"
+golden="api/colsort_api.txt"
+allow="api/removed.txt"
+
+# The working-tree golden must be current before comparing.
+COLSORT_UPDATE_API=1 go test -run TestAPISurfaceGolden . >/dev/null
+
+if ! old="$(git show "$base:$golden" 2>/dev/null)"; then
+    echo "apidiff: no $golden at $base — first commit with an API golden, nothing to compare"
+    exit 0
+fi
+
+removed="$(comm -23 <(printf '%s\n' "$old" | sort) <(sort "$golden"))"
+added="$(comm -13 <(printf '%s\n' "$old" | sort) <(sort "$golden"))"
+
+if [ -n "$added" ]; then
+    echo "apidiff: added since $base:"
+    printf '  + %s\n' "$added" | sed 's/\n/\n  + /'
+fi
+
+status=0
+if [ -n "$removed" ]; then
+    while IFS= read -r line; do
+        [ -z "$line" ] && continue
+        allowed=no
+        while IFS= read -r prefix; do
+            case "$prefix" in ''|'#'*) continue ;; esac
+            case "$line" in "$prefix"*) allowed=yes; break ;; esac
+        done < "$allow"
+        if [ "$allowed" = yes ]; then
+            echo "apidiff: removed (allowlisted): $line"
+        else
+            echo "apidiff: REMOVED WITHOUT ALLOWLIST ENTRY: $line" >&2
+            status=1
+        fi
+    done <<< "$removed"
+fi
+
+if [ "$status" -ne 0 ]; then
+    echo "apidiff: the v1 API surface is final — add deliberate removals to $allow" >&2
+fi
+exit "$status"

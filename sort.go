@@ -10,10 +10,10 @@ import (
 	"colsort/internal/sim"
 )
 
-// Sort is the v1 entry point: it sorts the records of src into dst under
-// ctx, replacing the SortGenerated / SortStore / SortFile family.
+// Sort submits one sorting job to the engine: the records of src are
+// sorted into dst under ctx.
 //
-//	res, err := sorter.Sort(ctx, colsort.FromFile("in.dat"), colsort.ToFile("out.dat"),
+//	res, err := engine.Sort(ctx, colsort.FromFile("in.dat"), colsort.ToFile("out.dat"),
 //	        colsort.WithAlgorithm(colsort.Subblock),
 //	        colsort.WithKeySpec(colsort.KeySpec{Offset: 16, Width: 8}))
 //
@@ -22,29 +22,36 @@ import (
 // configured algorithm, verified (global sortedness in PDM column-major
 // order plus multiset preservation) and — when dst is non-nil — streamed
 // into the sink with any padding trimmed and any KeySpec normalization
-// undone. A nil dst keeps the sorted data in Result.Output only, which
-// callers of the legacy entry points then verify and read themselves.
+// undone. A nil dst keeps the sorted data in Result.Output only.
 //
 // Sort is unbounded in n: when the record count exceeds the selected
 // algorithm's problem-size bound (or a WithMaxMemory cap), the input is
-// transparently split into maximal bounded runs, each sorted by the engine
-// on one persistent cluster fabric, and the runs are combined by a
-// loser-tree k-way merge (WithMergeFanIn) streaming straight into dst with
-// prefetch on the run reads, write-behind on the output, and in-stream
-// verification — see Result.Merge and DESIGN.md §7. This path requires a
-// non-nil dst (the merged output only exists as a stream), the default
-// PadAuto policy, and a non-hybrid algorithm.
+// transparently split into maximal bounded runs, each sorted on one
+// persistent cluster fabric, and the runs are combined by a loser-tree
+// k-way merge (WithMergeFanIn) streaming straight into dst with prefetch
+// on the run reads, write-behind on the output, and in-stream verification
+// — see Result.Merge and DESIGN.md §7. This path requires a non-nil dst
+// (the merged output only exists as a stream), the default PadAuto policy,
+// and a non-hybrid algorithm.
 //
-// Cancelling ctx (or exceeding its deadline) tears the run down: all P
+// Concurrent Sort calls are admitted against the engine's TotalMemory
+// budget: each job's ask is its WithMaxMemory cap when given, otherwise
+// its run plan's record bytes. A job that does not fit waits FIFO for
+// earlier jobs to release their leases — cancel ctx to stop waiting, or
+// pass WithNoWait to fail fast with ErrBusy. Admitted jobs run fully in
+// parallel: they share the engine's warm buffer pools and backend but
+// keep their own fault counters, progress, cancellation and scratch
+// namespace, so each result is byte-identical to a solo run.
+//
+// Cancelling ctx (or exceeding its deadline) tears the job down: all P
 // processor goroutines, the pipeline stages between them and the
 // asynchronous disk workers unwind, write-behind queues drain, scratch
 // files are removed, and Sort returns an error satisfying
 // errors.Is(err, ctx.Err()) without leaking goroutines or files.
 //
 // The returned Result carries the exact operation counts and the cost
-// model; the caller owns Close. Sort calls on one Sorter must not overlap
-// (they share the machine's buffer pools), matching the legacy contract.
-func (s *Sorter) Sort(ctx context.Context, src Source, dst Sink, opts ...Option) (*Result, error) {
+// model; the caller owns Close.
+func (e *Engine) Sort(ctx context.Context, src Source, dst Sink, opts ...Option) (*Result, error) {
 	o := sortOptions{alg: Threaded, padding: PadAuto}
 	for _, opt := range opts {
 		opt(&o)
@@ -58,11 +65,11 @@ func (s *Sorter) Sort(ctx context.Context, src Source, dst Sink, opts ...Option)
 	if o.fanIn < 0 || o.fanIn == 1 {
 		return nil, fmt.Errorf("colsort: WithMergeFanIn(%d): the fan-in must be ≥ 2", o.fanIn)
 	}
-	codec, err := o.keySpec.Compile(s.cfg.RecordSize)
+	codec, err := o.keySpec.Compile(e.cfg.RecordSize)
 	if err != nil {
 		return nil, fmt.Errorf("colsort: %w", err)
 	}
-	n, rd, err := src.Open(s.cfg.RecordSize)
+	n, rd, err := src.Open(e.cfg.RecordSize)
 	if err != nil {
 		return nil, err
 	}
@@ -70,32 +77,70 @@ func (s *Sorter) Sort(ctx context.Context, src Source, dst Sink, opts ...Option)
 	if n < 1 {
 		return nil, fmt.Errorf("colsort: cannot sort %d records", n)
 	}
-	pl, plErr := s.planOpts(o, n)
-	m := s.machineFor(ctx, o)
-	faultsAt := s.faults.Snapshot()
-	// Beyond the single-run bound (or a WithMaxMemory cap): split into
-	// bounded runs and k-way merge them into the sink — the hierarchical
-	// path that makes Sort unbounded in n.
-	if hier, err := s.wantHierarchical(o, pl, plErr); err != nil {
-		return nil, err
-	} else if hier {
-		res, err := s.sortHierarchical(ctx, m, rd, dst, o, codec, n)
-		if res != nil {
-			res.Faults = s.faultsSince(faultsAt)
-		}
-		return res, err
-	}
-	if plErr != nil {
-		return nil, plErr
-	}
-
-	// An existing store of exactly the planned shape under the native key
-	// is consumed in place — no ingest copy, the legacy SortStore path.
-	input, ownInput, want, err := s.ingest(ctx, m, src, rd, pl, codec, n)
+	pl, plErr := e.planOpts(o, n)
+	hier, err := e.wantHierarchical(o, pl, plErr)
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Run(ctx, pl, m, input, core.Hooks{Progress: o.progress})
+
+	// Size the job's ask BEFORE admission: the caller's declared cap when
+	// given, otherwise the record bytes of the single run this job will
+	// execute. Plan-level failures (unplannable count, hierarchical sort
+	// without a Sink) surface here, before the job can occupy budget.
+	var runPl core.Plan
+	var ask int64
+	if hier {
+		if dst == nil {
+			// Wrap ErrTooLarge: callers branching on the sentinel (the
+			// legacy above-bound failure mode) must keep matching when the
+			// only thing missing is a Sink.
+			return nil, fmt.Errorf("colsort: %d records exceed the single-run bound (%w) and must stream through the hierarchical merge: pass a non-nil Sink (Discard() drops the output)", n, core.ErrTooLarge)
+		}
+		if runPl, err = e.planRun(o); err != nil {
+			return nil, err
+		}
+		ask = runPl.N * int64(runPl.Z)
+	} else {
+		if plErr != nil {
+			return nil, plErr
+		}
+		ask = pl.N * int64(pl.Z)
+	}
+	if o.maxMemory > 0 {
+		ask = o.maxMemory
+	}
+
+	l, err := e.admit(ctx, ask, o.noWait)
+	if err != nil {
+		return nil, err
+	}
+	defer l.release()
+
+	j := e.newJob(ctx, o)
+	res, err := j.run(ctx, src, rd, dst, o, codec, n, pl, runPl, hier)
+	faults := j.faultStats()
+	if res != nil {
+		res.Faults = faults
+		res.JobID = j.id
+	}
+	e.finishJob(res, faults, err)
+	return res, err
+}
+
+// run executes one admitted job: the hierarchical runs-plus-merge path
+// when hier is set, the single-run engine path otherwise.
+func (j *job) run(ctx context.Context, src Source, rd RecordReader, dst Sink, o sortOptions, codec record.KeyCodec, n int64, pl, runPl core.Plan, hier bool) (*Result, error) {
+	if hier {
+		return j.sortHierarchical(ctx, rd, dst, o, codec, n, runPl)
+	}
+
+	// An existing store of exactly the planned shape under the native key
+	// is consumed in place — no ingest copy.
+	input, ownInput, want, err := ingest(ctx, j.m, src, rd, pl, codec, n)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Run(ctx, pl, j.m, input, core.Hooks{Progress: o.progress})
 	if ownInput {
 		input.Close()
 	}
@@ -118,62 +163,28 @@ func (s *Sorter) Sort(ctx context.Context, src Source, dst Sink, opts ...Option)
 			return nil, err
 		}
 	}
-	out.Faults = s.faultsSince(faultsAt)
 	return out, nil
 }
 
-// machineFor applies per-sort machine options to the (value-copied)
-// machine, which keeps sharing the Sorter's pools and backend: the
-// interconnect fabric choice, and the storage retry policy — always on,
-// with WithRetry overriding the defaults — whose backoff sleeps abort with
-// ctx and whose counters land in the Sorter's fault stats. The retry layer
-// wraps every disk the sort creates below its async layer, so write-behind
-// operations retry before their failure can latch, and every escaping disk
-// error carries operation/disk/offset context.
-func (s *Sorter) machineFor(ctx context.Context, o sortOptions) pdm.Machine {
-	m := s.m
-	m.CopyFabric = o.fabric == FabricCopying
-	rc := pdm.RetryConfig{Cancel: ctx.Done(), Stats: &s.faults}
-	if p := o.retry; p != nil {
-		rc.MaxAttempts = p.MaxAttempts
-		rc.BaseDelay = p.BaseDelay
-		rc.MaxDelay = p.MaxDelay
-	}
-	m.Retry = &rc
-	return m
-}
-
-// faultsSince converts the Sorter's fault-stat delta since at into the
-// public per-sort report.
-func (s *Sorter) faultsSince(at pdm.FaultCounts) FaultStats {
-	d := s.faults.Snapshot().Sub(at)
-	return FaultStats{
-		DiskRetries:   d.Retries,
-		DiskGiveUps:   d.GaveUps,
-		CorruptChunks: d.CorruptChunks,
-		ChunkRereads:  d.Rereads,
-		BatchRedos:    d.BatchRedos,
-	}
-}
-
 // planOpts turns the options into a validated plan for n records.
-func (s *Sorter) planOpts(o sortOptions, n int64) (core.Plan, error) {
+func (e *Engine) planOpts(o sortOptions, n int64) (core.Plan, error) {
 	if o.group > 0 {
 		// Hybrid group columnsort: padding is not supported (the group size
 		// fixes the shape), so the count must be directly plannable.
-		return s.PlanHybrid(o.group, n)
+		return e.PlanHybrid(o.group, n)
 	}
 	if o.padding == PadNever {
-		return s.Plan(o.alg, n)
+		return e.Plan(o.alg, n)
 	}
-	return s.planPadded(o.alg, n)
+	return e.planPadded(o.alg, n)
 }
 
-// ingest materializes the plan's input store: either the source's own store
-// consumed in place (ownInput = false), or a fresh store filled from the
-// source's record stream (ownInput = true). want is the multiset checksum
-// of the real records in the engine's normalized key space.
-func (s *Sorter) ingest(ctx context.Context, m pdm.Machine, src Source, rd RecordReader, pl core.Plan, codec record.KeyCodec, n int64) (input *pdm.Store, ownInput bool, want record.Checksum, err error) {
+// ingest materializes the plan's input store on machine m: either the
+// source's own store consumed in place (ownInput = false), or a fresh
+// store filled from the source's record stream (ownInput = true). want is
+// the multiset checksum of the real records in the engine's normalized key
+// space.
+func ingest(ctx context.Context, m pdm.Machine, src Source, rd RecordReader, pl core.Plan, codec record.KeyCodec, n int64) (input *pdm.Store, ownInput bool, want record.Checksum, err error) {
 	if ss, ok := src.(*storeSource); ok && codec.Identity() && n == pl.N && storeMatchesPlan(ss.st, pl) {
 		want, err = ss.st.Checksum()
 		return ss.st, false, want, err

@@ -178,9 +178,9 @@ func (r *bytesReader) Close() error { return nil }
 // store is preserved — the caller keeps ownership and must Close it.
 //
 // When the store's shape already matches the plan and the sort uses the
-// native key, the engine consumes it in place with no ingest copy, exactly
-// as the original SortStore did; otherwise its records are streamed into a
-// fresh input store of the planned shape.
+// native key, the engine consumes it in place with no ingest copy;
+// otherwise its records are streamed into a fresh input store of the
+// planned shape.
 func FromStore(st *pdm.Store) Source {
 	return &storeSource{st: st}
 }

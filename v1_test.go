@@ -38,16 +38,16 @@ func rawEngineRun(t *testing.T, s *Sorter, alg Algorithm, n int64, g record.Gene
 	if err != nil {
 		t.Fatal(err)
 	}
-	input, err := pl.NewInput(s.m, g)
+	input, err := pl.NewInput(s.e.m, g)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer input.Close()
-	res, err := core.Run(context.Background(), pl, s.m, input, core.Hooks{})
+	res, err := core.Run(context.Background(), pl, s.e.m, input, core.Hooks{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &Result{Result: res, want: record.OfGenerated(g, n, s.cfg.RecordSize)}
+	return &Result{Result: res, want: record.OfGenerated(g, n, s.e.cfg.RecordSize)}
 }
 
 func TestSortMatchesLegacyEngine(t *testing.T) {
@@ -95,12 +95,12 @@ func TestSortHybridMatchesLegacyEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	input, err := pl.NewInput(s1.m, gen)
+	input, err := pl.NewInput(s1.e.m, gen)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer input.Close()
-	res, err := core.Run(context.Background(), pl, s1.m, input, core.Hooks{})
+	res, err := core.Run(context.Background(), pl, s1.e.m, input, core.Hooks{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -408,11 +408,11 @@ func TestSortSteadyStateAllocs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		input, err := pl.NewInput(legacy.m, gen)
+		input, err := pl.NewInput(legacy.e.m, gen)
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := core.Run(context.Background(), pl, legacy.m, input, core.Hooks{})
+		res, err := core.Run(context.Background(), pl, legacy.e.m, input, core.Hooks{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -484,8 +484,8 @@ func TestOptionOrderLastAlgorithmWins(t *testing.T) {
 	}
 }
 
-// TestSortFileStillWorks keeps the deprecated wrapper honest: it must
-// still produce a verified sorted file through the v1 machinery.
+// TestSortFileStillWorks pins the end-to-end "sort a file" path — FromFile
+// through ToFile — that the removed SortFile wrapper used to package.
 func TestSortFileStillWorks(t *testing.T) {
 	const z, n = 32, 3000
 	dir := t.TempDir()
@@ -503,7 +503,7 @@ func TestSortFileStillWorks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.SortFile(Threaded, in, out)
+	res, err := s.Sort(context.Background(), FromFile(in), ToFile(out), WithAlgorithm(Threaded))
 	if err != nil {
 		t.Fatal(err)
 	}
