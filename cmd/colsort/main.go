@@ -368,9 +368,20 @@ func serveJobs(ctx context.Context, engine *colsort.Engine, n int,
 	if st.TotalMemory > 0 {
 		budget = fmt.Sprintf("%d MiB", st.TotalMemory>>20)
 	}
-	fmt.Printf("engine: %d completed, %d failed in %v; peak lease %d MiB of %s; pool holds %d buffers (%d MiB)\n",
-		st.CompletedJobs, st.FailedJobs, wall.Round(time.Millisecond),
-		st.PeakLeasedBytes>>20, budget, st.PoolFreeBuffers, st.PoolFreeBytes>>20)
+	// One line of Engine.Stats parity with colsort-server's /metrics: the
+	// admission picture (who ran, who queued, how much of the budget the
+	// peak lease took — the numbers that explain an admission stall) plus
+	// the cumulative sim/fault counters of the completed jobs.
+	line := fmt.Sprintf("engine: %d completed, %d failed, %d queued at exit in %v; peak lease %d MiB of %s; pool holds %d buffers (%d MiB); disk %d MiB read / %d MiB written, net %d MiB, %d MiB moved",
+		st.CompletedJobs, st.FailedJobs, st.QueuedJobs, wall.Round(time.Millisecond),
+		st.PeakLeasedBytes>>20, budget, st.PoolFreeBuffers, st.PoolFreeBytes>>20,
+		st.Counters.DiskReadBytes>>20, st.Counters.DiskWriteBytes>>20,
+		st.Counters.NetBytes>>20, st.Counters.MovedBytes>>20)
+	if f := st.Faults; f.Any() {
+		line += fmt.Sprintf("; faults: %d retried (%d gave up), %d corrupt chunks (%d rereads), %d redos",
+			f.DiskRetries, f.DiskGiveUps, f.CorruptChunks, f.ChunkRereads, f.BatchRedos)
+	}
+	fmt.Println(line)
 	if failed {
 		os.Exit(1)
 	}

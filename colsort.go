@@ -272,13 +272,15 @@ type Result struct {
 }
 
 // FaultStats reports the fault-tolerance activity of one sort; see
-// Result.Faults and DESIGN.md §9 for the failure model.
+// Result.Faults and DESIGN.md §9 for the failure model. The JSON tags are
+// the wire representation of the colsort-server's job summaries;
+// TestWireEncodingGolden pins them.
 type FaultStats struct {
-	DiskRetries   int64 // transient disk faults healed by retry
-	DiskGiveUps   int64 // transient faults that exhausted the retry budget
-	CorruptChunks int64 // spill-run chunks that failed CRC32C verification
-	ChunkRereads  int64 // corrupt chunks healed by an invalidate-and-reread
-	BatchRedos    int64 // run-formation batches re-sorted and re-spilled
+	DiskRetries   int64 `json:"disk_retries"`   // transient disk faults healed by retry
+	DiskGiveUps   int64 `json:"disk_give_ups"`  // transient faults that exhausted the retry budget
+	CorruptChunks int64 `json:"corrupt_chunks"` // spill-run chunks that failed CRC32C verification
+	ChunkRereads  int64 `json:"chunk_rereads"`  // corrupt chunks healed by an invalidate-and-reread
+	BatchRedos    int64 `json:"batch_redos"`    // run-formation batches re-sorted and re-spilled
 }
 
 // Any reports whether any fault-tolerance machinery fired.
@@ -302,15 +304,57 @@ func (r *Result) TotalCounters() sim.Counters {
 
 // MergeStats describes the hierarchical execution of an above-bound sort:
 // how the input was cut into engine-sized runs and how the runs were merged
-// back into one stream.
+// back into one stream. The JSON tags are the wire representation of the
+// colsort-server's job summaries; TestWireEncodingGolden pins them.
 type MergeStats struct {
-	Runs       int   // sorted runs formed (run-formation batches)
-	Levels     int   // merge-tree levels, including the final merge into the Sink
-	FanIn      int   // maximum runs merged at once
-	RunRecords int64 // records per full run (the single-run plan's N)
+	Runs       int   `json:"runs"`        // sorted runs formed (run-formation batches)
+	Levels     int   `json:"levels"`      // merge-tree levels, including the final merge into the Sink
+	FanIn      int   `json:"fan_in"`      // maximum runs merged at once
+	RunRecords int64 `json:"run_records"` // records per full run (the single-run plan's N)
 
-	BytesRead    int64 // bytes read back from spilled runs by the merges
-	BytesWritten int64 // bytes written to run spills (formation and intermediate levels) plus streamed to the Sink
+	BytesRead    int64 `json:"bytes_read"`    // bytes read back from spilled runs by the merges
+	BytesWritten int64 `json:"bytes_written"` // bytes written to run spills (formation and intermediate levels) plus streamed to the Sink
+}
+
+// ResultSummary is the JSON-ready digest of a completed sort — the wire
+// representation the colsort-server returns from its job API. It carries
+// everything a remote caller can use (counts, plan, merge shape, faults,
+// exact operation counters) and nothing process-local (no store, no codec).
+// TestWireEncodingGolden pins the encoding.
+type ResultSummary struct {
+	// JobID is the engine job number of the sort (Result.JobID).
+	JobID int64 `json:"job_id"`
+	// Records is the number of caller records sorted (padding excluded).
+	Records int64 `json:"records"`
+	// Plan is the human-readable execution plan. For hierarchical sorts it
+	// describes ONE run-formation batch; see Merge for the overall shape.
+	Plan string `json:"plan"`
+	// Merge is non-nil after a hierarchical (above-bound) sort.
+	Merge *MergeStats `json:"merge,omitempty"`
+	// Faults reports the fault-tolerance activity of the sort.
+	Faults FaultStats `json:"faults"`
+	// Counters sums all passes and processors, fault fields folded in
+	// (Result.TotalCounters).
+	Counters sim.Counters `json:"counters"`
+}
+
+// Summary digests the Result into its wire representation; see
+// ResultSummary.
+func (r *Result) Summary() ResultSummary {
+	s := ResultSummary{
+		JobID:   r.JobID,
+		Records: r.RealRecords(),
+		Faults:  r.Faults,
+	}
+	if r.Result != nil {
+		s.Plan = r.Plan.String()
+		s.Counters = r.TotalCounters()
+	}
+	if r.Merge != nil {
+		m := *r.Merge
+		s.Merge = &m
+	}
+	return s
 }
 
 // Verify checks that the output is globally sorted (in the PDM column-major

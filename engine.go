@@ -367,33 +367,43 @@ func (f *FaultStats) accumulate(d FaultStats) {
 }
 
 // EngineStats is a point-in-time snapshot of an Engine; see Engine.Stats.
+// The JSON tags are the wire representation the colsort-server exposes
+// (and the source of its /metrics gauges); TestWireEncodingGolden pins
+// them.
 type EngineStats struct {
 	// ActiveJobs and QueuedJobs count the jobs currently running and
 	// currently waiting for admission.
-	ActiveJobs int
-	QueuedJobs int
+	ActiveJobs int `json:"active_jobs"`
+	QueuedJobs int `json:"queued_jobs"`
 	// CompletedJobs and FailedJobs count the jobs that have finished over
 	// the engine's lifetime (a cancelled job counts as failed).
-	CompletedJobs int64
-	FailedJobs    int64
+	CompletedJobs int64 `json:"completed_jobs"`
+	FailedJobs    int64 `json:"failed_jobs"`
 	// LeasedBytes is the sum of the active jobs' asks; PeakLeasedBytes its
 	// lifetime high-water mark — always ≤ TotalMemory when a budget is set,
 	// which is the admission-control invariant tests pin.
-	LeasedBytes     int64
-	PeakLeasedBytes int64
-	TotalMemory     int64
+	LeasedBytes     int64 `json:"leased_bytes"`
+	PeakLeasedBytes int64 `json:"peak_leased_bytes"`
+	TotalMemory     int64 `json:"total_memory"`
 	// PoolFreeBuffers / PoolFreeBytes report the warm buffer arena: idle
 	// buffers (and their total capacity) currently held by the engine's
 	// per-processor pools, ready for the next job.
-	PoolFreeBuffers int
-	PoolFreeBytes   int64
+	PoolFreeBuffers int   `json:"pool_free_buffers"`
+	PoolFreeBytes   int64 `json:"pool_free_bytes"`
 	// Counters is the cumulative engine-pass accounting of every completed
 	// job (the sum of their Result.TotalCounters without fault fields);
 	// Faults the cumulative fault-tolerance activity of every job, failed
 	// jobs included.
-	Counters sim.Counters
-	Faults   FaultStats
+	Counters sim.Counters `json:"counters"`
+	Faults   FaultStats   `json:"faults"`
 }
+
+// Config returns the engine's construction-time configuration (with the
+// defaults New/NewEngine resolved — Disks filled in when it was 0). It is
+// a copy: mutating it cannot affect the engine. Front ends use it to learn
+// the record size and machine shape they serve without carrying a second
+// copy of the Config.
+func (e *Engine) Config() Config { return e.cfg }
 
 // Stats returns a consistent snapshot of the engine's admission state and
 // cumulative accounting, plus the current buffer-pool occupancy.

@@ -51,17 +51,19 @@ func (res *Result) TotalCounters() sim.Counters {
 // (both 0 for single-run sorts), and the final k-way merge emits events
 // with Pass == 0 whose MergedRecords/TotalRecords report the position of
 // the merged output stream.
+// The JSON tags are the wire representation of the colsort-server's SSE
+// progress push; TestWireEncodingGolden (root package) pins them.
 type Progress struct {
-	Pass   int // 1-based index of the pass the event belongs to; 0 for merge events
-	Passes int // total passes of the algorithm
-	Round  int // rounds completed by rank 0 within this pass
-	Rounds int // rounds per processor per pass
+	Pass   int `json:"pass"`   // 1-based index of the pass the event belongs to; 0 for merge events
+	Passes int `json:"passes"` // total passes of the algorithm
+	Round  int `json:"round"`  // rounds completed by rank 0 within this pass
+	Rounds int `json:"rounds"` // rounds per processor per pass
 
-	Batch   int // 1-based run-formation batch (hierarchical sorts only)
-	Batches int // total run-formation batches (hierarchical sorts only)
+	Batch   int `json:"batch,omitempty"`   // 1-based run-formation batch (hierarchical sorts only)
+	Batches int `json:"batches,omitempty"` // total run-formation batches (hierarchical sorts only)
 
-	MergedRecords int64 // records emitted by the merge so far (merge events)
-	TotalRecords  int64 // total records the merge will emit (merge events)
+	MergedRecords int64 `json:"merged_records,omitempty"` // records emitted by the merge so far (merge events)
+	TotalRecords  int64 `json:"total_records,omitempty"`  // total records the merge will emit (merge events)
 }
 
 // Hooks customizes a run. The zero value disables every hook.

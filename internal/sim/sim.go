@@ -24,38 +24,40 @@ import (
 
 // Counters accumulates the operations one processor performs during one
 // pass. Each processor owns its Counters value (no sharing, no atomics);
-// aggregation happens after the run.
+// aggregation happens after the run. The JSON tags are the wire
+// representation of the colsort-server's job summaries and metrics;
+// TestWireEncodingGolden (root package) pins them.
 type Counters struct {
 	// Disk traffic on the disks this processor owns.
-	DiskReadBytes  int64
-	DiskWriteBytes int64
-	DiskReadOps    int64 // contiguous segments read (≈ seeks)
-	DiskWriteOps   int64 // contiguous segments written (≈ seeks)
+	DiskReadBytes  int64 `json:"disk_read_bytes"`
+	DiskWriteBytes int64 `json:"disk_write_bytes"`
+	DiskReadOps    int64 `json:"disk_read_ops"`  // contiguous segments read (≈ seeks)
+	DiskWriteOps   int64 `json:"disk_write_ops"` // contiguous segments written (≈ seeks)
 
 	// Network traffic sent by this processor. Self-destined messages are
 	// counted separately: they cost a memory copy but no wire time.
-	NetBytes   int64
-	NetMsgs    int64
-	LocalBytes int64
-	LocalMsgs  int64
+	NetBytes   int64 `json:"net_bytes"`
+	NetMsgs    int64 `json:"net_msgs"`
+	LocalBytes int64 `json:"local_bytes"`
+	LocalMsgs  int64 `json:"local_msgs"`
 
 	// CPU work. CompareUnits approximates comparison work (n·⌈lg n⌉ for a
 	// sort of n, n·⌈lg k⌉ for a k-way merge); MovedBytes counts record
 	// bytes copied by sort gathers, permute stages and message packing.
-	CompareUnits int64
-	MovedBytes   int64
+	CompareUnits int64 `json:"compare_units"`
+	MovedBytes   int64 `json:"moved_bytes"`
 
 	// Rounds counts pipeline rounds this processor participated in.
-	Rounds int64
+	Rounds int64 `json:"rounds"`
 
 	// Fault tolerance: what the storage fault layers absorbed or detected.
 	// Zero on a healthy run; none of these feed the cost model (a retry's
 	// cost is its re-issued disk traffic, charged above).
-	DiskRetries   int64 // transient disk faults healed by retry
-	DiskGiveUps   int64 // transient faults that exhausted the retry budget
-	CorruptChunks int64 // spill-run chunks failing CRC32C verification
-	ChunkRereads  int64 // corrupt chunks healed by an invalidate-and-reread
-	BatchRedos    int64 // hierarchical batches re-sorted/re-spilled
+	DiskRetries   int64 `json:"disk_retries"`   // transient disk faults healed by retry
+	DiskGiveUps   int64 `json:"disk_give_ups"`  // transient faults that exhausted the retry budget
+	CorruptChunks int64 `json:"corrupt_chunks"` // spill-run chunks failing CRC32C verification
+	ChunkRereads  int64 `json:"chunk_rereads"`  // corrupt chunks healed by an invalidate-and-reread
+	BatchRedos    int64 `json:"batch_redos"`    // hierarchical batches re-sorted/re-spilled
 }
 
 // Add accumulates o into c.

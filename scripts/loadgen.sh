@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Concurrent-upload load generator for colsort-server: N parallel curl
+# streams against POST /v1/sort. Every response must be either a complete
+# 200 (sorted body, exactly the input's size) or a 429 carrying a
+# Retry-After header — the wire rendering of ErrBusy when the server's
+# -jobs bound is saturated. Any other status, or a 429 without Retry-After,
+# fails the run.
+#
+#   LOADGEN_URL         server base URL        (default http://localhost:8080)
+#   LOADGEN_CLIENTS     parallel uploads       (default 8)
+#   LOADGEN_RECORDS     records per upload     (default 131072 = 8 MiB at z=64)
+#   LOADGEN_RECORD_SIZE bytes per record       (default 64; must match -z)
+#   LOADGEN_EXPECT_BUSY when 1, require at least one 429 — use against a
+#                       server whose -jobs bound is below LOADGEN_CLIENTS
+set -eu
+
+URL="${LOADGEN_URL:-http://localhost:8080}"
+CLIENTS="${LOADGEN_CLIENTS:-8}"
+RECORDS="${LOADGEN_RECORDS:-131072}"
+Z="${LOADGEN_RECORD_SIZE:-64}"
+EXPECT_BUSY="${LOADGEN_EXPECT_BUSY:-0}"
+
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+fail() {
+  echo "LOADGEN FAILED ($1)" >&2
+  exit 1
+}
+
+dd if=/dev/urandom of="$DIR/input.dat" bs="$Z" count="$RECORDS" status=none
+SIZE=$((RECORDS * Z))
+
+for i in $(seq 1 "$CLIENTS"); do
+  curl -sS -o "$DIR/out.$i" -D "$DIR/hdr.$i" -w '%{http_code}' \
+    -H 'Content-Type: application/octet-stream' \
+    --data-binary @"$DIR/input.dat" "$URL/v1/sort" >"$DIR/code.$i" &
+done
+wait
+
+ok=0 busy=0
+for i in $(seq 1 "$CLIENTS"); do
+  code=$(cat "$DIR/code.$i")
+  case "$code" in
+  200)
+    got=$(wc -c <"$DIR/out.$i")
+    [ "$got" -eq "$SIZE" ] || fail "client $i: 200 with $got bytes, want $SIZE"
+    ok=$((ok + 1))
+    ;;
+  429)
+    grep -qi '^retry-after:' "$DIR/hdr.$i" || fail "client $i: 429 without Retry-After"
+    busy=$((busy + 1))
+    ;;
+  *)
+    fail "client $i: unexpected status $code: $(cat "$DIR/out.$i")"
+    ;;
+  esac
+done
+
+# All sorted outputs of the same input must be identical bytes.
+first=""
+for i in $(seq 1 "$CLIENTS"); do
+  [ "$(cat "$DIR/code.$i")" = "200" ] || continue
+  if [ -z "$first" ]; then
+    first="$i"
+  else
+    cmp -s "$DIR/out.$first" "$DIR/out.$i" || fail "clients $first and $i sorted the same input differently"
+  fi
+done
+
+[ "$ok" -ge 1 ] || fail "no upload succeeded ($busy busy)"
+if [ "$EXPECT_BUSY" = "1" ] && [ "$busy" -eq 0 ]; then
+  fail "expected saturation but every upload got through (raise LOADGEN_CLIENTS or lower the server's -jobs)"
+fi
+echo "loadgen passed: $ok sorted, $busy refused with 429/Retry-After ($CLIENTS clients × $RECORDS records)"
