@@ -85,6 +85,7 @@ func main() {
 	outPath := flag.String("out", "", "write the sorted records to this file (requires -in)")
 	maxMemMiB := flag.Int64("max-memory-mib", 0, "cap one columnsort run at this many MiB of records; inputs above the cap (or the algorithm's bound) sort as runs + k-way merge (0: bound only)")
 	mergeFanIn := flag.Int("merge-fanin", 0, "maximum runs merged at once on the hierarchical path (0: default 16)")
+	runFormation := flag.String("run-formation", "replacement-select", "hierarchical run formation: replacement-select (heap-formed maximal up/down runs) or fixed-batch (engine-sorted batches of exactly the run-plan size)")
 	retries := flag.Int("retries", 0, "fault tolerance: attempts per disk operation before a transient fault escapes (0: default 4; 1 disables retries)")
 	retryBaseUS := flag.Int("retry-base-us", 0, "fault tolerance: first backoff delay in microseconds, doubling per attempt (0: default 200)")
 	redoBudget := flag.Int("redo-budget", 0, "fault tolerance: hierarchical batches that may be re-sorted and re-spilled (0: default 2; negative disables)")
@@ -118,6 +119,11 @@ func main() {
 	g, ok := record.ByName(*gen, *seed)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown generator %q (have: %s)\n", *gen, strings.Join(record.Names(), ", "))
+		os.Exit(2)
+	}
+	formation, ok := colsort.RunFormationByName(*runFormation)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown -run-formation %q (have: replacement-select, fixed-batch)\n", *runFormation)
 		os.Exit(2)
 	}
 
@@ -183,6 +189,7 @@ func main() {
 	if *mergeFanIn > 0 {
 		opts = append(opts, colsort.WithMergeFanIn(*mergeFanIn))
 	}
+	opts = append(opts, colsort.WithRunFormation(formation))
 	if *retries != 0 || *retryBaseUS != 0 || *redoBudget != 0 || *scrub {
 		opts = append(opts, colsort.WithRetry(colsort.RetryPolicy{
 			MaxAttempts: *retries,
@@ -201,6 +208,13 @@ func main() {
 	if *progress {
 		lastPct := -10 // one decade below 0 so the first merge event prints
 		opts = append(opts, colsort.WithProgress(func(ev colsort.Progress) {
+			if ev.Pass == 0 && ev.FormedRecords > 0 { // replacement-selection run formation
+				if ev.TotalRecords > 0 {
+					fmt.Fprintf(os.Stderr, "formed run %d: %d/%d records (%d%%)\n",
+						ev.Batch, ev.FormedRecords, ev.TotalRecords, 100*ev.FormedRecords/ev.TotalRecords)
+				}
+				return
+			}
 			if ev.Pass == 0 { // hierarchical merge events: report every 10%
 				pct := int(100 * ev.MergedRecords / ev.TotalRecords)
 				if pct/10 > lastPct/10 || ev.MergedRecords == ev.TotalRecords {
@@ -221,7 +235,7 @@ func main() {
 	}
 
 	if *planOnly {
-		plan, err := planFor(engine, alg, *group, *inPath, *n, *z, *maxMemMiB<<20)
+		plan, err := planFor(engine, alg, *group, *inPath, *n, *z, *maxMemMiB<<20, formation)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -390,7 +404,7 @@ func serveJobs(ctx context.Context, engine *colsort.Engine, n int,
 // planFor reports the plan the equivalent Sort call would execute,
 // including the hierarchical runs-plus-merge plan for inputs beyond the
 // single-run bound or a -max-memory-mib cap.
-func planFor(engine *colsort.Engine, alg colsort.Algorithm, group int, inPath string, n int64, z int, maxMem int64) (interface{ String() string }, error) {
+func planFor(engine *colsort.Engine, alg colsort.Algorithm, group int, inPath string, n int64, z int, maxMem int64, formation colsort.RunFormation) (interface{ String() string }, error) {
 	if alg == colsort.Hybrid {
 		if inPath != "" {
 			return engine.PlanFile(alg, inPath) // rejects hybrid file sorts, as the run would
@@ -431,25 +445,37 @@ func planFor(engine *colsort.Engine, alg colsort.Algorithm, group int, inPath st
 	if overCap && int64(batches) == 1 {
 		return single, nil // the cap admits the whole input in one run
 	}
-	return hierPlan{runPl: runPl, batches: batches}, nil
+	return hierPlan{runPl: runPl, batches: batches, formation: formation}, nil
 }
 
-// hierPlan pretty-prints a hierarchical execution plan.
+// hierPlan pretty-prints a hierarchical execution plan. Under replacement
+// selection the batch count is a worst-case bound (maximal runs are at
+// least as long as fixed batches), so it renders as "≤ N runs"; fixed
+// batching executes exactly N.
 type hierPlan struct {
-	runPl   interface{ String() string }
-	batches int
+	runPl     interface{ String() string }
+	batches   int
+	formation colsort.RunFormation
 }
 
 func (h hierPlan) String() string {
-	return fmt.Sprintf("hierarchical: %d runs + k-way merge, each run [%s]", h.batches, h.runPl)
+	if h.formation == colsort.FixedBatch {
+		return fmt.Sprintf("hierarchical: %d fixed-batch runs + k-way merge, each run [%s]", h.batches, h.runPl)
+	}
+	return fmt.Sprintf("hierarchical: ≤%d replacement-selection runs + k-way merge, each formed over [%s]", h.batches, h.runPl)
 }
 
 func report(res *colsort.Result, wall time.Duration) {
 	tot := res.TotalCounters()
 	fmt.Printf("wall clock: %v (simulated cluster in one process)\n", wall.Round(time.Millisecond))
 	if m := res.Merge; m != nil {
-		fmt.Printf("hierarchical: %d runs × ≤%d records, %d merge level(s) at fan-in %d; merge moved %d MiB of run reads, %d MiB of spill+sink writes\n",
-			m.Runs, m.RunRecords, m.Levels, m.FanIn, m.BytesRead>>20, m.BytesWritten>>20)
+		runs := fmt.Sprintf("%d runs × ≤%d records", m.Runs, m.RunRecords)
+		if m.Formation != "fixed-batch" && m.MaxRunRecords > 0 {
+			runs = fmt.Sprintf("%d %s runs of %d–%d records (%d descending)",
+				m.Runs, m.Formation, m.MinRunRecords, m.MaxRunRecords, m.DownRuns)
+		}
+		fmt.Printf("hierarchical: %s, %d merge level(s) at fan-in %d; merge moved %d MiB of run reads, %d MiB of spill+sink writes\n",
+			runs, m.Levels, m.FanIn, m.BytesRead>>20, m.BytesWritten>>20)
 	}
 	fmt.Printf("disk:  %d MiB read, %d MiB written, %d segments\n",
 		tot.DiskReadBytes>>20, tot.DiskWriteBytes>>20, tot.DiskReadOps+tot.DiskWriteOps)

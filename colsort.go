@@ -65,6 +65,43 @@ type Algorithm = core.Algorithm
 // instead. Detect with errors.Is.
 var ErrTooLarge = core.ErrTooLarge
 
+// ErrHeightRestriction marks plan failures caused specifically by a
+// columnsort height restriction (r ≥ 2s² and its relaxed/in-core
+// variants) — the geometric condition the source paper relaxes. Where
+// growing N cannot help it rides along with ErrTooLarge. Detect with
+// errors.Is.
+var ErrHeightRestriction = core.ErrHeightRestriction
+
+// ErrSinkRequired marks an above-bound Sort called without a Sink: the
+// hierarchical runs-plus-merge path streams its output and cannot sort in
+// place. It rides along with ErrTooLarge (the condition that forced the
+// hierarchical path). Detect with errors.Is.
+var ErrSinkRequired = errors.New("colsort: a non-nil Sink is required")
+
+// ErrMemoryTooSmall marks a WithMaxMemory cap under which no single run is
+// plannable, so the hierarchical path cannot form runs at all. Detect with
+// errors.Is.
+var ErrMemoryTooSmall = errors.New("colsort: the WithMaxMemory cap is too small")
+
+// PaddingError reports that no power-of-two padded record count makes n
+// sortable with the requested algorithm. It records the range the planner
+// searched; Unwrap yields the planner's final verdict (which wraps
+// ErrTooLarge when growing further cannot help), so errors.Is/As both work.
+type PaddingError struct {
+	Alg     Algorithm
+	Records int64 // the requested record count
+	First   int64 // the smallest padded count tried (n rounded up to a power of two)
+	Last    int64 // the largest padded count tried before giving up
+	Err     error // the planner's final verdict
+}
+
+func (e *PaddingError) Error() string {
+	return fmt.Sprintf("colsort: no power-of-two padding of %d records is sortable with %v (tried N = %d up to %d): %v",
+		e.Records, e.Alg, e.First, e.Last, e.Err)
+}
+
+func (e *PaddingError) Unwrap() error { return e.Err }
+
 // The available algorithms. See the package comment for their bounds.
 const (
 	Threaded4   = core.Threaded4
@@ -307,13 +344,24 @@ func (r *Result) TotalCounters() sim.Counters {
 // back into one stream. The JSON tags are the wire representation of the
 // colsort-server's job summaries; TestWireEncodingGolden pins them.
 type MergeStats struct {
-	Runs       int   `json:"runs"`        // sorted runs formed (run-formation batches)
+	Runs       int   `json:"runs"`        // sorted runs formed
 	Levels     int   `json:"levels"`      // merge-tree levels, including the final merge into the Sink
 	FanIn      int   `json:"fan_in"`      // maximum runs merged at once
-	RunRecords int64 `json:"run_records"` // records per full run (the single-run plan's N)
+	RunRecords int64 `json:"run_records"` // records one run's memory budget holds (the single-run plan's N); fixed-batch runs are exactly this long, replacement selection averages ~2× it
 
 	BytesRead    int64 `json:"bytes_read"`    // bytes read back from spilled runs by the merges
 	BytesWritten int64 `json:"bytes_written"` // bytes written to run spills (formation and intermediate levels) plus streamed to the Sink
+
+	// Formation names the run-formation mode that produced the runs
+	// ("replacement-select" or "fixed-batch").
+	Formation string `json:"formation,omitempty"`
+	// DownRuns counts runs formed (and spilled) in descending order —
+	// replacement selection's "down" runs; always 0 under fixed batches.
+	DownRuns int `json:"down_runs,omitempty"`
+	// MinRunRecords/MaxRunRecords bound the formed run lengths, making the
+	// data-dependence of replacement selection observable.
+	MinRunRecords int64 `json:"min_run_records,omitempty"`
+	MaxRunRecords int64 `json:"max_run_records,omitempty"`
 }
 
 // ResultSummary is the JSON-ready digest of a completed sort — the wire
@@ -446,8 +494,7 @@ func (e *Engine) planPadded(alg Algorithm, n int64) (core.Plan, error) {
 			break
 		}
 	}
-	return core.Plan{}, fmt.Errorf("colsort: no power-of-two padding of %d records is sortable with %v (tried N = %d up to %d): %w",
-		n, alg, n2, last, lastErr)
+	return core.Plan{}, &PaddingError{Alg: alg, Records: n, First: n2, Last: last, Err: lastErr}
 }
 
 // InputStore allocates an input store shaped for the algorithm and n, to be

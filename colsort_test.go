@@ -2,7 +2,7 @@ package colsort
 
 import (
 	"context"
-	"strings"
+	"errors"
 	"testing"
 
 	"colsort/internal/record"
@@ -91,8 +91,11 @@ func TestNewValidation(t *testing.T) {
 func TestPlanErrorsExplainRestrictions(t *testing.T) {
 	s := newTestSorter(t, 2, 512)
 	_, err := s.Plan(Threaded, 512*64) // s=64: 2s² = 8192 > 512
-	if err == nil || !strings.Contains(err.Error(), "height restriction") {
-		t.Fatalf("want height restriction error, got %v", err)
+	if !errors.Is(err, ErrHeightRestriction) {
+		t.Fatalf("err = %v, want errors.Is(err, ErrHeightRestriction)", err)
+	}
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want errors.Is(err, ErrTooLarge) to keep matching", err)
 	}
 }
 

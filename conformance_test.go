@@ -33,6 +33,7 @@ type conformanceCase struct {
 	n      int64
 	regime string // "below" | "at" | "above"
 	file   bool   // file-backed scratch disks
+	form   RunFormation
 	gen    record.Generator
 }
 
@@ -61,10 +62,19 @@ func drawCase(rng *rand.Rand, s *Sorter, alg Algorithm, z int) conformanceCase {
 		c.ks.Order = Descending
 	}
 	c.file = rng.IntN(4) == 0 // file-backed is slower: sample it
+	// Both run-formation modes must produce byte-identical output, so the
+	// draw alternates them (the mode only matters in the "above" regime,
+	// where runs actually form).
+	if rng.IntN(2) == 1 {
+		c.form = FixedBatch
+	}
 	gens := []record.Generator{
 		record.Uniform{Seed: rng.Uint64()},
 		record.Dup{Seed: rng.Uint64()},
+		record.Dup{Seed: rng.Uint64(), K: 2}, // heavy duplication: long tied runs
 		record.NearlySorted{Seed: rng.Uint64(), Window: 64},
+		record.NearlyReverse{Seed: rng.Uint64(), Window: 64},
+		record.Disordered{Seed: rng.Uint64(), K: 32},
 		record.Reverse{Seed: rng.Uint64()},
 	}
 	c.gen = gens[rng.IntN(len(gens))]
@@ -101,7 +111,7 @@ func TestSortConformance(t *testing.T) {
 		if c.regime == "above" {
 			sawAbove = true
 		}
-		name := fmt.Sprintf("%02d-%v-z%d-%s-%v", i, c.alg, c.z, c.regime, c.ks.Order)
+		name := fmt.Sprintf("%02d-%v-z%d-%s-%v-%v", i, c.alg, c.z, c.regime, c.ks.Order, c.form)
 		if c.file {
 			name += "-file"
 		}
@@ -120,7 +130,7 @@ func TestSortConformance(t *testing.T) {
 			raw := genRaw(int(c.n), c.z, c.gen)
 			var out bytes.Buffer
 			res, err := s.Sort(context.Background(), FromBytes(raw), ToWriter(&out),
-				WithAlgorithm(c.alg), WithKeySpec(c.ks))
+				WithAlgorithm(c.alg), WithKeySpec(c.ks), WithRunFormation(c.form))
 			if err != nil {
 				t.Fatalf("%+v: %v", c, err)
 			}

@@ -83,6 +83,13 @@ type Engine struct {
 	failed    int64
 	cum       sim.Counters // engine passes of completed jobs
 	cumFaults FaultStats   // fault-tolerance activity of all jobs, failed included
+
+	// Hierarchical run-formation accounting of completed jobs (see the
+	// matching EngineStats fields).
+	runsFormed       int64
+	downRunsFormed   int64
+	runRecordsFormed int64
+	mergeLevelsRun   int64
 }
 
 // waiter is one queued admission request. granted and err are written
@@ -354,6 +361,12 @@ func (e *Engine) finishJob(res *Result, faults FaultStats, err error) {
 	if res != nil && res.Result != nil {
 		e.cum.Add(res.Result.TotalCounters())
 	}
+	if res != nil && res.Merge != nil {
+		e.runsFormed += int64(res.Merge.Runs)
+		e.downRunsFormed += int64(res.Merge.DownRuns)
+		e.runRecordsFormed += res.RealRecords()
+		e.mergeLevelsRun += int64(res.Merge.Levels)
+	}
 	e.cumFaults.accumulate(faults)
 }
 
@@ -396,6 +409,15 @@ type EngineStats struct {
 	// jobs included.
 	Counters sim.Counters `json:"counters"`
 	Faults   FaultStats   `json:"faults"`
+	// Hierarchical run-formation accounting of every completed job that
+	// took the runs-plus-merge path: runs spilled (descending runs
+	// separately), records they held, and merge levels executed. The
+	// run/record split exposes the average run length — the number that
+	// shows replacement selection earning its ~2× over fixed batches.
+	RunsFormed       int64 `json:"runs_formed,omitempty"`
+	DownRunsFormed   int64 `json:"down_runs_formed,omitempty"`
+	RunRecordsFormed int64 `json:"run_records_formed,omitempty"`
+	MergeLevelsRun   int64 `json:"merge_levels_run,omitempty"`
 }
 
 // Config returns the engine's construction-time configuration (with the
@@ -410,15 +432,19 @@ func (e *Engine) Config() Config { return e.cfg }
 func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
 	st := EngineStats{
-		ActiveJobs:      e.active,
-		QueuedJobs:      len(e.queue),
-		CompletedJobs:   e.completed,
-		FailedJobs:      e.failed,
-		LeasedBytes:     e.leased,
-		PeakLeasedBytes: e.peak,
-		TotalMemory:     e.total,
-		Counters:        e.cum,
-		Faults:          e.cumFaults,
+		ActiveJobs:       e.active,
+		QueuedJobs:       len(e.queue),
+		CompletedJobs:    e.completed,
+		FailedJobs:       e.failed,
+		LeasedBytes:      e.leased,
+		PeakLeasedBytes:  e.peak,
+		TotalMemory:      e.total,
+		Counters:         e.cum,
+		Faults:           e.cumFaults,
+		RunsFormed:       e.runsFormed,
+		DownRunsFormed:   e.downRunsFormed,
+		RunRecordsFormed: e.runRecordsFormed,
+		MergeLevelsRun:   e.mergeLevelsRun,
 	}
 	e.mu.Unlock()
 	for _, p := range e.m.Pools {

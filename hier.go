@@ -13,6 +13,7 @@ package colsort
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"context"
 
@@ -20,6 +21,7 @@ import (
 	"colsort/internal/merge"
 	"colsort/internal/pdm"
 	"colsort/internal/record"
+	"colsort/internal/runform"
 	"colsort/internal/sim"
 	"colsort/internal/verify"
 )
@@ -78,8 +80,8 @@ func (e *Engine) planRun(o sortOptions) (core.Plan, error) {
 	}
 	if !found {
 		if o.maxMemory > 0 && smallest > 0 {
-			return core.Plan{}, fmt.Errorf("colsort: WithMaxMemory(%d) admits no single %v run (the smallest plannable run is %d records × %d B = %d bytes); raise the cap or shrink MemPerProc",
-				o.maxMemory, o.alg, smallest, e.cfg.RecordSize, smallest*z)
+			return core.Plan{}, fmt.Errorf("%w: WithMaxMemory(%d) admits no single %v run (the smallest plannable run is %d records × %d B = %d bytes); raise the cap or shrink MemPerProc",
+				ErrMemoryTooSmall, o.maxMemory, o.alg, smallest, e.cfg.RecordSize, smallest*z)
 		}
 		return core.Plan{}, fmt.Errorf("colsort: no single-run plan exists for %v under this configuration", o.alg)
 	}
@@ -112,6 +114,13 @@ func (e *Engine) mergeChunkRecs(o sortOptions, fanIn int) int {
 // largest plannable run, optionally capped at maxMemory bytes of records;
 // 0 means no cap) and the number of run-formation batches. It lets callers
 // and `colsort -plan` price an above-bound sort without running it.
+//
+// batches is exact for WithRunFormation(FixedBatch). Under the default
+// replacement selection, run count is data-dependent — typically about
+// half of batches on random input, as low as 1 on nearly-sorted input —
+// and batches is its worst-case BOUND (render it as "≤ batches", the way
+// `colsort -plan` does), reached only when every arrival breaks the
+// current run.
 func (e *Engine) PlanHierarchical(alg Algorithm, n int64, maxMemory int64) (runPlan core.Plan, batches int, err error) {
 	if n < 1 {
 		return core.Plan{}, 0, fmt.Errorf("colsort: cannot sort %d records", n)
@@ -137,7 +146,7 @@ func (j *job) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink, o
 	}
 	chunk := j.e.mergeChunkRecs(o, fanIn)
 	nBatches := int((n + runPl.N - 1) / runPl.N)
-	stats := &MergeStats{FanIn: fanIn, RunRecords: runPl.N}
+	stats := &MergeStats{FanIn: fanIn, RunRecords: runPl.N, Formation: o.formation.String()}
 
 	// Recovery policy: how many whole batches may be re-sorted and
 	// re-spilled, and whether every spilled run gets a post-spill CRC
@@ -157,12 +166,6 @@ func (j *job) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink, o
 		scrub = scrub || o.retry.Scrub
 	}
 
-	br, err := core.NewBatchRunner(ctx, runPl, j.m)
-	if err != nil {
-		return nil, err
-	}
-	defer br.Close()
-
 	spillSeq := 0
 	newSpill := func() (pdm.Disk, error) {
 		d, err := j.m.NewSpillDisk(spillSeq)
@@ -179,55 +182,128 @@ func (j *job) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink, o
 		}
 	}()
 
-	// Run formation: ingest one maximal batch at a time (the tail of the
-	// last batch padded with maximal records), sort it on the persistent
-	// fabric, verify it, and spill its real prefix — still in the codec's
-	// normalized key space, so the merge compares at native speed — as one
-	// sorted run.
 	var want record.Checksum
 	var passCnts [][]sim.Counters
-	remaining := n
-	for b := 0; b < nBatches; b++ {
-		real := remaining
-		if real > runPl.N {
-			real = runPl.N
-		}
-		remaining -= real
-		input, err := runPl.NewStore(j.m)
+	if o.formation == FixedBatch {
+		// Fixed-batch run formation: ingest one maximal batch at a time
+		// (the tail of the last batch padded with maximal records), sort it
+		// on the persistent fabric, verify it, and spill its real prefix —
+		// still in the codec's normalized key space, so the merge compares
+		// at native speed — as one sorted run.
+		br, err := core.NewBatchRunner(ctx, runPl, j.m)
 		if err != nil {
 			return nil, err
 		}
-		cs, err := fillStore(ctx, input, rd, codec, real)
-		if err != nil {
-			input.Close()
-			return nil, err
-		}
-		want.Merge(cs)
-		var hooks core.Hooks
-		if o.progress != nil {
-			batch, total, fn := b+1, nBatches, o.progress
-			hooks.Progress = func(ev Progress) {
-				ev.Batch, ev.Batches = batch, total
-				fn(ev)
+		defer br.Close()
+		remaining := n
+		for b := 0; b < nBatches; b++ {
+			real := remaining
+			if real > runPl.N {
+				real = runPl.N
 			}
+			remaining -= real
+			input, err := runPl.NewStore(j.m)
+			if err != nil {
+				return nil, err
+			}
+			cs, err := fillStore(ctx, input, rd, codec, real)
+			if err != nil {
+				input.Close()
+				return nil, err
+			}
+			want.Merge(cs)
+			var hooks core.Hooks
+			if o.progress != nil {
+				batch, total, fn := b+1, nBatches, o.progress
+				hooks.Progress = func(ev Progress) {
+					ev.Batch, ev.Batches = batch, total
+					fn(ev)
+				}
+			}
+			run, err := j.formRun(ctx, br, input, hooks, real, cs, newSpill, chunk,
+				scrub, redoBudget, &passCnts, b+1, nBatches)
+			input.Close()
+			if err != nil {
+				return nil, err
+			}
+			stats.BytesWritten += run.Bytes() // run-formation spill
+			if stats.MinRunRecords == 0 || real < stats.MinRunRecords {
+				stats.MinRunRecords = real
+			}
+			if real > stats.MaxRunRecords {
+				stats.MaxRunRecords = real
+			}
+			live = append(live, run)
 		}
-		run, err := j.formRun(ctx, br, input, hooks, real, cs, newSpill, chunk,
-			scrub, redoBudget, &passCnts, b+1, nBatches)
-		input.Close()
-		if err != nil {
+		br.Close() // run formation done: release the fabric before merging
+	} else {
+		// Replacement selection: the heap owns the run boundaries and the
+		// engine's fabric never runs — order comes from the heap, and
+		// verification from the merge's in-stream order check plus the
+		// final multiset comparison against the ingest checksum.
+		if err := j.formRunsReplacement(ctx, rd, o, codec, n, runPl, &live,
+			newSpill, chunk, scrub, redoBudget, stats, &want); err != nil {
 			return nil, err
 		}
-		stats.BytesWritten += run.Bytes() // run-formation spill
-		live = append(live, run)
 	}
 	stats.Runs = len(live)
-	br.Close() // run formation done: release the fabric before merging
+	formSpill := stats.BytesWritten // formation-phase bytes, before any merge traffic
+
+	// Merge progress is cumulative across EVERY level, against the total
+	// record count all merges together will emit — and clamped monotonic in
+	// the emitter: with variable-length runs (and pass-through leftovers)
+	// a per-level percent could otherwise regress between levels.
+	opt := merge.Options{ChunkRecs: chunk, Faults: &j.faults}
+	var mergedBase int64
+	if o.progress != nil {
+		var mergeTotal int64
+		sizes := make([]int64, len(live))
+		for i, r := range live {
+			sizes[i] = r.Records
+		}
+		for len(sizes) > fanIn {
+			var next []int64
+			for lo := 0; lo < len(sizes); lo += fanIn {
+				hi := lo + fanIn
+				if hi > len(sizes) {
+					hi = len(sizes)
+				}
+				if hi == lo+1 {
+					next = append(next, sizes[lo])
+					continue
+				}
+				var sum int64
+				for _, v := range sizes[lo:hi] {
+					sum += v
+				}
+				mergeTotal += sum
+				next = append(next, sum)
+			}
+			sizes = next
+		}
+		mergeTotal += n // the final merge emits every record
+		batches, fn := nBatches, o.progress
+		if o.formation != FixedBatch {
+			batches = len(live)
+		}
+		var lastEmitted int64
+		opt.Progress = func(merged int64) {
+			cum := mergedBase + merged
+			if cum < lastEmitted {
+				cum = lastEmitted
+			}
+			if cum > mergeTotal {
+				cum = mergeTotal
+			}
+			lastEmitted = cum
+			fn(Progress{Batches: batches, MergedRecords: cum, TotalRecords: mergeTotal})
+		}
+	}
 
 	// Merge tree: reduce the run set level by level until one merge fans
 	// into the sink. The merges verify every CRC frame they load, healing
 	// transient read corruption with a reread and counting both into the
 	// job's fault stats.
-	opt := merge.Options{ChunkRecs: chunk, Faults: &j.faults}
 	for len(live) > fanIn {
 		stats.Levels++
 		next := make([]*merge.Run, 0, (len(live)+fanIn-1)/fanIn)
@@ -254,6 +330,7 @@ func (j *job) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink, o
 			}
 			stats.BytesRead += st.BytesRead
 			stats.BytesWritten += st.BytesWritten
+			mergedBase += out.Records
 			for i := lo; i < hi; i++ {
 				live[i].Close()
 				live[i] = nil
@@ -275,12 +352,6 @@ func (j *job) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink, o
 	if err != nil {
 		return nil, err
 	}
-	if o.progress != nil {
-		total, fn := nBatches, o.progress
-		opt.Progress = func(merged int64) {
-			fn(Progress{Batches: total, MergedRecords: merged, TotalRecords: n})
-		}
-	}
 	got, st, err := merge.Merge(ctx, live, func(c record.Slice) error {
 		codec.Decode(c)
 		return w.Write(c)
@@ -296,6 +367,31 @@ func (j *job) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink, o
 	}
 	if !got.Equal(want) {
 		return nil, fmt.Errorf("colsort: streaming verification failed: the merged output's multiset (%d records) differs from the input's (%d); discard the sink's contents", got.Count, want.Count)
+	}
+	if o.formation != FixedBatch {
+		// The engine fabric never ran under replacement selection, so its
+		// real work — the selection heap and the merge tree — is accounted
+		// as two synthetic passes. Engine.Stats' cumulative counters (and
+		// the server's /metrics derived from them) stay meaningful under
+		// the default formation mode.
+		z := int64(runPl.Z)
+		mergeRecs := mergedBase + n // every record each merge level emitted
+		passCnts = [][]sim.Counters{
+			{{
+				CompareUnits:   n * int64(bits.Len64(uint64(runPl.N))),
+				DiskWriteBytes: formSpill,
+				DiskWriteOps:   int64(stats.Runs),
+				MovedBytes:     2 * n * z, // arena fill + run emit
+			}},
+			{{
+				CompareUnits:   mergeRecs * int64(bits.Len64(uint64(fanIn))),
+				DiskReadBytes:  stats.BytesRead,
+				DiskReadOps:    int64(stats.Runs),
+				DiskWriteBytes: stats.BytesWritten - formSpill,
+				DiskWriteOps:   int64(stats.Levels),
+				MovedBytes:     mergeRecs * z,
+			}},
+		}
 	}
 	return &Result{
 		Result: &core.Result{Plan: runPl, PassCounters: passCnts},
@@ -372,6 +468,218 @@ func (j *job) formRun(ctx context.Context, br *core.BatchRunner, input *pdm.Stor
 		}
 		j.faults.BatchRedos.Add(1)
 	}
+}
+
+// formRunsReplacement forms and spills maximal variable-length runs by
+// heap-based replacement selection, consuming the source stream directly:
+// records are encoded into normalized key space as they arrive, the
+// former's heap (runPl.N records — the same budget one fixed batch would
+// hold, honest against the job's admission lease) emits each run in its
+// chosen direction, and each run streams through the CRC-framing writer
+// onto a fresh spill disk, descending runs marked for the reversed merge
+// reader. The engine's batch fabric is never involved: order comes from
+// the heap, and end-to-end verification from the merge's in-stream order
+// check plus the final multiset comparison against the ingest checksum.
+//
+// Recovery differs from fixed batches by necessity. A fixed batch redoes
+// itself from its preserved input store; here the source stream that fed a
+// run is consumed as the run forms. So when the scrub is armed and the
+// redo budget is positive, each run's emitted chunks are RETAINED in
+// pooled memory until its spill has been verified — a permanent spill
+// failure or a scrub-detected corruption re-spills the retained copy onto
+// a fresh disk (counted in BatchRedos, like a batch redo). Retention is
+// bounded at 2× the heap (the expected run length on random input): a run
+// reaching the bound is cut there, so redo memory stays within one extra
+// run-store's worth — the same peak the fixed-batch path reaches with its
+// input and output stores — at the cost of splitting longer-than-expected
+// runs while scrubbing.
+func (j *job) formRunsReplacement(ctx context.Context, rd RecordReader, o sortOptions, codec record.KeyCodec, n int64, runPl core.Plan, live *[]*merge.Run, newSpill func() (pdm.Disk, error), chunk int, scrub bool, redoBudget int, stats *MergeStats, want *record.Checksum) error {
+	z := j.e.cfg.RecordSize
+	var pool *record.Pool
+	if len(j.m.Pools) > 0 {
+		pool = j.m.Pools[0]
+	}
+	var idx int64
+	read := func(rec []byte) (bool, error) {
+		if idx >= n {
+			return false, nil
+		}
+		if idx%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
+		}
+		if err := rd.ReadRecord(rec); err != nil {
+			return false, fmt.Errorf("colsort: reading record %d: %w", idx, err)
+		}
+		codec.EncodeRecord(rec)
+		want.Add(rec)
+		idx++
+		return true, nil
+	}
+	f := runform.New(int(runPl.N), z, pool, read)
+	defer f.Close()
+	buf := pool.Get(chunk, z)
+	defer pool.Put(buf)
+
+	retain := scrub && redoBudget > 0
+	var formed int64
+	for runIdx := 1; ; runIdx++ {
+		desc, ok, err := f.NextRun()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		// Progress is emitted per drained chunk, not per completed run: a
+		// run's length is data-dependent and unbounded (a sorted stream is
+		// ONE run), so waiting for a run boundary could leave a streaming
+		// caller without any progress signal for the whole sort.
+		onChunk := func(got int) {
+			formed += int64(got)
+			if o.progress != nil {
+				o.progress(Progress{Batch: runIdx, FormedRecords: formed, TotalRecords: n})
+			}
+		}
+		run, recs, err := j.spillFormedRun(ctx, f, desc, buf, newSpill, chunk,
+			scrub, retain, 2*runPl.N, redoBudget, pool, runIdx, onChunk)
+		if err != nil {
+			return err
+		}
+		*live = append(*live, run)
+		stats.BytesWritten += run.Bytes()
+		if desc {
+			stats.DownRuns++
+		}
+		if stats.MinRunRecords == 0 || recs < stats.MinRunRecords {
+			stats.MinRunRecords = recs
+		}
+		if recs > stats.MaxRunRecords {
+			stats.MaxRunRecords = recs
+		}
+	}
+}
+
+// spillFormedRun drains the former's current run onto a fresh spill disk.
+// With retention armed, every emitted chunk is also copied into pooled
+// memory until the run is verified: a permanent spill-write failure mid-run
+// stops writing but KEEPS DRAINING the former (the retained copy is then
+// the only copy of those records), after which the whole run is re-spilled
+// onto fresh disks under the redo budget; a scrub failure re-spills the
+// same way. Without retention, any permanent spill or scrub failure is
+// terminal — exactly the fixed-batch contract with a zero redo budget.
+func (j *job) spillFormedRun(ctx context.Context, f *runform.Former, desc bool, buf record.Slice, newSpill func() (pdm.Disk, error), chunk int, scrub, retain bool, retainCap int64, redoBudget int, pool *record.Pool, runIdx int, onChunk func(got int)) (*merge.Run, int64, error) {
+	var retained []record.Slice
+	defer func() {
+		for _, c := range retained {
+			pool.Put(c)
+		}
+	}()
+
+	d, err := newSpill()
+	if err != nil {
+		return nil, 0, err
+	}
+	w := merge.NewWriter(d, buf.Size, chunk)
+	var recs int64
+	var spillErr error
+	for {
+		got, err := f.Fill(buf)
+		if err != nil {
+			d.Close()
+			return nil, 0, err
+		}
+		if got == 0 {
+			break
+		}
+		c := buf.Sub(0, got)
+		recs += int64(got)
+		onChunk(got)
+		if retain {
+			cp := pool.Get(got, buf.Size)
+			copy(cp.Data, c.Data)
+			retained = append(retained, cp)
+		}
+		if spillErr == nil {
+			if err := w.Append(c); err != nil {
+				if !retain {
+					d.Close()
+					return nil, 0, fmt.Errorf("colsort: run %d: %w", runIdx, err)
+				}
+				spillErr = err
+			}
+		}
+		if retain && recs >= retainCap {
+			f.BreakRun() // bound redo memory; the rest becomes the next run
+		}
+	}
+
+	var run *merge.Run
+	if spillErr != nil {
+		d.Close() // the half-written first attempt
+	} else if run, err = w.Finish(); err != nil {
+		d.Close()
+		if !retain {
+			return nil, 0, fmt.Errorf("colsort: run %d: %w", runIdx, err)
+		}
+		run, spillErr = nil, err
+	} else {
+		run.Descending = desc
+		if scrub {
+			// Read the spilled bytes back against their CRC frames NOW,
+			// while the retained copy can still redo the run — at merge
+			// time persistent spill corruption is fatal.
+			if err := run.Scrub(ctx, &j.faults); err != nil {
+				run.Close()
+				if !retain {
+					return nil, 0, fmt.Errorf("colsort: run %d: %w", runIdx, err)
+				}
+				run, spillErr = nil, err
+			}
+		}
+	}
+	for attempt := 1; spillErr != nil; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, fmt.Errorf("colsort: run %d: %w", runIdx, spillErr)
+		}
+		if attempt > redoBudget {
+			return nil, 0, fmt.Errorf("colsort: redo budget (%d) exhausted: run %d: %w", redoBudget, runIdx, spillErr)
+		}
+		j.faults.BatchRedos.Add(1)
+		run, spillErr = respillRetained(ctx, retained, buf.Size, desc, newSpill, chunk, scrub, &j.faults)
+	}
+	return run, recs, nil
+}
+
+// respillRetained writes a formed run's retained chunks onto a fresh spill
+// disk and re-verifies it — the replacement-selection analogue of the
+// fixed-batch redo (which re-sorts from the preserved input store).
+func respillRetained(ctx context.Context, retained []record.Slice, z int, desc bool, newSpill func() (pdm.Disk, error), chunk int, scrub bool, faults *pdm.FaultStats) (*merge.Run, error) {
+	d, err := newSpill()
+	if err != nil {
+		return nil, err
+	}
+	w := merge.NewWriter(d, z, chunk)
+	for _, c := range retained {
+		if err := w.Append(c); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
+	run, err := w.Finish()
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	run.Descending = desc
+	if scrub {
+		if err := run.Scrub(ctx, faults); err != nil {
+			run.Close()
+			return nil, err
+		}
+	}
+	return run, nil
 }
 
 // verifyRunStore applies the engine's output verification to one run store

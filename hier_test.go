@@ -12,10 +12,10 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
-	"strings"
 	"sync"
 	"testing"
 
@@ -74,43 +74,56 @@ func TestHierarchicalFileBacked3x(t *testing.T) {
 	raw := genRaw(n, z, record.Uniform{Seed: 21})
 
 	for _, order := range []Order{Ascending, Descending} {
-		t.Run(order.String(), func(t *testing.T) {
-			dir := t.TempDir()
-			testutil.CheckLeaks(t, filepath.Join(dir, "scratch"))
-			in := filepath.Join(dir, "in.dat")
-			out := filepath.Join(dir, "out.dat")
-			if err := os.WriteFile(in, raw, 0o644); err != nil {
-				t.Fatal(err)
-			}
-			fs, err := New(Config{Procs: p, MemPerProc: mem, RecordSize: z,
-				Dir: filepath.Join(dir, "scratch"), Async: true})
-			if err != nil {
-				t.Fatal(err)
-			}
-			ks := KeySpec{Offset: 8, Width: 8, Order: order}
-			res, err := fs.Sort(context.Background(), FromFile(in), ToFile(out),
-				WithAlgorithm(Threaded), WithKeySpec(ks))
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer res.Close()
-			if res.Merge == nil {
-				t.Fatal("above-bound sort did not take the hierarchical path")
-			}
-			if wantRuns := (int64(n) + res.Merge.RunRecords - 1) / res.Merge.RunRecords; int64(res.Merge.Runs) != wantRuns {
-				t.Errorf("formed %d runs, want %d (run size %d)", res.Merge.Runs, wantRuns, res.Merge.RunRecords)
-			}
-			if res.RealRecords() != int64(n) {
-				t.Errorf("RealRecords = %d, want %d", res.RealRecords(), n)
-			}
-			got, err := os.ReadFile(out)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !bytes.Equal(got, refSortBytes(t, raw, z, ks)) {
-				t.Error("hierarchical output is not byte-identical to the reference sort")
-			}
-		})
+		for _, form := range []RunFormation{FixedBatch, ReplacementSelect} {
+			order, form := order, form
+			t.Run(fmt.Sprintf("%v/%v", order, form), func(t *testing.T) {
+				dir := t.TempDir()
+				testutil.CheckLeaks(t, filepath.Join(dir, "scratch"))
+				in := filepath.Join(dir, "in.dat")
+				out := filepath.Join(dir, "out.dat")
+				if err := os.WriteFile(in, raw, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				fs, err := New(Config{Procs: p, MemPerProc: mem, RecordSize: z,
+					Dir: filepath.Join(dir, "scratch"), Async: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ks := KeySpec{Offset: 8, Width: 8, Order: order}
+				res, err := fs.Sort(context.Background(), FromFile(in), ToFile(out),
+					WithAlgorithm(Threaded), WithKeySpec(ks), WithRunFormation(form))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer res.Close()
+				if res.Merge == nil {
+					t.Fatal("above-bound sort did not take the hierarchical path")
+				}
+				if res.Merge.Formation != form.String() {
+					t.Errorf("Merge.Formation = %q, want %q", res.Merge.Formation, form)
+				}
+				// Fixed batches split at exactly RunRecords; replacement
+				// selection forms maximal runs, so the batch arithmetic is only
+				// an upper bound for it.
+				wantRuns := (int64(n) + res.Merge.RunRecords - 1) / res.Merge.RunRecords
+				if form == FixedBatch && int64(res.Merge.Runs) != wantRuns {
+					t.Errorf("formed %d runs, want %d (run size %d)", res.Merge.Runs, wantRuns, res.Merge.RunRecords)
+				}
+				if form == ReplacementSelect && int64(res.Merge.Runs) > wantRuns {
+					t.Errorf("replacement selection formed %d runs, more than the fixed-batch bound %d", res.Merge.Runs, wantRuns)
+				}
+				if res.RealRecords() != int64(n) {
+					t.Errorf("RealRecords = %d, want %d", res.RealRecords(), n)
+				}
+				got, err := os.ReadFile(out)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, refSortBytes(t, raw, z, ks)) {
+					t.Error("hierarchical output is not byte-identical to the reference sort")
+				}
+			})
+		}
 	}
 }
 
@@ -173,7 +186,7 @@ func TestHierarchicalFanInLevels(t *testing.T) {
 	raw := genRaw(n, z, record.Zipf{Seed: 8})
 	var out bytes.Buffer
 	res, err := s.Sort(context.Background(), FromBytes(raw), ToWriter(&out),
-		WithAlgorithm(Threaded), WithMergeFanIn(2))
+		WithAlgorithm(Threaded), WithMergeFanIn(2), WithRunFormation(FixedBatch))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,18 +217,27 @@ func TestWithMaxMemoryForcesRuns(t *testing.T) {
 		t.Fatalf("n=%d should be single-run plannable: %v", n, err)
 	}
 	raw := genRaw(n, z, record.Dup{Seed: 4})
-	var out bytes.Buffer
-	res, err := s.Sort(context.Background(), FromBytes(raw), ToWriter(&out),
-		WithAlgorithm(Threaded), WithMaxMemory(int64(n/4)*z))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer res.Close()
-	if res.Merge == nil || res.Merge.Runs != 4 {
-		t.Fatalf("WithMaxMemory did not force run formation: %+v", res.Merge)
-	}
-	if !bytes.Equal(out.Bytes(), refSortBytes(t, raw, z, KeySpec{})) {
-		t.Error("memory-capped output differs from the reference sort")
+	want := refSortBytes(t, raw, z, KeySpec{})
+	for _, form := range []RunFormation{FixedBatch, ReplacementSelect} {
+		var out bytes.Buffer
+		res, err := s.Sort(context.Background(), FromBytes(raw), ToWriter(&out),
+			WithAlgorithm(Threaded), WithMaxMemory(int64(n/4)*z), WithRunFormation(form))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Merge == nil {
+			t.Fatalf("%v: WithMaxMemory did not force run formation", form)
+		}
+		if form == FixedBatch && res.Merge.Runs != 4 {
+			t.Fatalf("%v: formed %d runs, want 4: %+v", form, res.Merge.Runs, res.Merge)
+		}
+		if form == ReplacementSelect && (res.Merge.Runs < 1 || res.Merge.Runs > 4) {
+			t.Fatalf("%v: formed %d runs, want 1..4: %+v", form, res.Merge.Runs, res.Merge)
+		}
+		if !bytes.Equal(out.Bytes(), want) {
+			t.Errorf("%v: memory-capped output differs from the reference sort", form)
+		}
+		res.Close()
 	}
 }
 
@@ -232,8 +254,8 @@ func TestHierarchicalRequiresSink(t *testing.T) {
 	if err == nil {
 		t.Fatal("above-bound sort with nil Sink succeeded")
 	}
-	if !strings.Contains(err.Error(), "Sink") {
-		t.Errorf("error %q does not explain the Sink requirement", err)
+	if !errors.Is(err, ErrSinkRequired) {
+		t.Errorf("err = %v, want errors.Is(err, ErrSinkRequired)", err)
 	}
 	// Legacy callers branch on the sentinel: the nil-Sink failure is still
 	// fundamentally "n exceeds the bound" and must keep matching it.
@@ -256,6 +278,7 @@ func TestHierarchicalProgress(t *testing.T) {
 	var batchSeen []int
 	var merged []int64
 	res, err := s.Sort(context.Background(), Generate(record.Uniform{Seed: 2}, n), Discard(),
+		WithRunFormation(FixedBatch),
 		WithProgress(func(ev Progress) {
 			if ev.Pass > 0 {
 				if ev.Batches != 3 {
@@ -308,7 +331,8 @@ func TestPlanHierarchical(t *testing.T) {
 	if batches != 4 {
 		t.Errorf("planned %d batches, want 4", batches)
 	}
-	res, err := s.Sort(context.Background(), Generate(record.Uniform{Seed: 3}, n), Discard())
+	res, err := s.Sort(context.Background(), Generate(record.Uniform{Seed: 3}, n), Discard(),
+		WithRunFormation(FixedBatch))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,6 +340,16 @@ func TestPlanHierarchical(t *testing.T) {
 	if int64(res.Merge.Runs) != int64(batches) || res.Merge.RunRecords != runPl.N {
 		t.Errorf("Sort executed %d runs × %d, PlanHierarchical said %d × %d",
 			res.Merge.Runs, res.Merge.RunRecords, batches, runPl.N)
+	}
+	// Under the default replacement selection the planned batch count is a
+	// worst-case bound, not an exact prediction.
+	rs, err := s.Sort(context.Background(), Generate(record.Uniform{Seed: 3}, n), Discard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if int64(rs.Merge.Runs) > int64(batches) {
+		t.Errorf("replacement selection formed %d runs, above the planned bound %d", rs.Merge.Runs, batches)
 	}
 	// The capped form must agree with WithMaxMemory's batch sizing.
 	if _, capped, err := s.PlanHierarchical(Threaded, 2048, 1024*z); err != nil || capped != 2 {
@@ -339,9 +373,195 @@ func TestHierarchicalOptionValidation(t *testing.T) {
 	if _, err := s.Sort(context.Background(), src, nil, WithMaxMemory(-5)); err == nil {
 		t.Error("WithMaxMemory(-5) accepted")
 	}
-	// A cap too small for even one column must fail with an explanation.
-	if _, err := s.Sort(context.Background(), src, Discard(), WithMaxMemory(16)); err == nil ||
-		!strings.Contains(err.Error(), "WithMaxMemory") {
-		t.Errorf("tiny cap error = %v, want a WithMaxMemory explanation", err)
+	// A cap too small for even one column must fail with the sentinel.
+	if _, err := s.Sort(context.Background(), src, Discard(), WithMaxMemory(16)); !errors.Is(err, ErrMemoryTooSmall) {
+		t.Errorf("tiny cap error = %v, want errors.Is(err, ErrMemoryTooSmall)", err)
+	}
+}
+
+// TestReplacementSelectFewerRuns is the run-length acceptance test: on
+// uniform random input well above the bound, replacement selection must form
+// at most 0.6× the runs of fixed batching (theory says ~0.5×), with output
+// byte-identical between the two modes.
+func TestReplacementSelectFewerRuns(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	const p, mem, z = 4, 256, 16
+	s, err := New(Config{Procs: p, MemPerProc: mem, RecordSize: z})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := s.MaxRecords(Threaded)
+	n := int(16*bound) + 123
+	raw := genRaw(n, z, record.Uniform{Seed: 17})
+	run := func(form RunFormation) (*MergeStats, []byte) {
+		var out bytes.Buffer
+		res, err := s.Sort(context.Background(), FromBytes(raw), ToWriter(&out),
+			WithAlgorithm(Threaded), WithRunFormation(form))
+		if err != nil {
+			t.Fatalf("%v: %v", form, err)
+		}
+		defer res.Close()
+		return res.Merge, out.Bytes()
+	}
+	fb, fbOut := run(FixedBatch)
+	rs, rsOut := run(ReplacementSelect)
+	if !bytes.Equal(fbOut, rsOut) {
+		t.Error("the two formation modes produced different output bytes")
+	}
+	if rs.Runs*10 > fb.Runs*6 {
+		t.Errorf("replacement selection formed %d runs vs %d fixed batches; want ≤ 0.6×", rs.Runs, fb.Runs)
+	}
+	if rs.MaxRunRecords <= rs.RunRecords {
+		t.Errorf("longest run is %d records, no longer than the %d-record working set", rs.MaxRunRecords, rs.RunRecords)
+	}
+	if rs.MinRunRecords < 1 || rs.MinRunRecords > rs.MaxRunRecords {
+		t.Errorf("run-length stats inconsistent: min %d, max %d", rs.MinRunRecords, rs.MaxRunRecords)
+	}
+}
+
+// TestReplacementSelectNearlySorted pins the production win: inputs that are
+// already nearly sorted — ascending or descending — collapse to at most two
+// runs regardless of how far above the bound they are.
+func TestReplacementSelectNearlySorted(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	const p, mem, z = 4, 256, 16
+	s, err := New(Config{Procs: p, MemPerProc: mem, RecordSize: z})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := s.MaxRecords(Threaded)
+	n := int(6 * bound)
+	cases := []struct {
+		name string
+		gen  record.Generator
+		down bool
+	}{
+		{"nearly-sorted-asc", record.NearlySorted{Seed: 9, Window: 64}, false},
+		{"nearly-sorted-desc", record.NearlyReverse{Seed: 9, Window: 64}, true},
+		{"k-disordered", record.Disordered{Seed: 9, K: 32}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			raw := genRaw(n, z, tc.gen)
+			var out bytes.Buffer
+			res, err := s.Sort(context.Background(), FromBytes(raw), ToWriter(&out),
+				WithAlgorithm(Threaded))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer res.Close()
+			if res.Merge.Runs > 2 {
+				t.Errorf("%s input formed %d runs, want ≤ 2", tc.name, res.Merge.Runs)
+			}
+			if tc.down && res.Merge.DownRuns < 1 {
+				t.Errorf("descending input formed no descending runs: %+v", res.Merge)
+			}
+			if !bytes.Equal(out.Bytes(), refSortBytes(t, raw, z, KeySpec{})) {
+				t.Error("output differs from the reference sort")
+			}
+		})
+	}
+}
+
+// TestReplacementSelectProgress pins the formation-phase progress family:
+// events tagged with Batch (the run index) and FormedRecords climbing to n,
+// followed by merge events with monotone MergedRecords.
+func TestReplacementSelectProgress(t *testing.T) {
+	const p, mem, z = 4, 256, 16
+	s, err := New(Config{Procs: p, MemPerProc: mem, RecordSize: z})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := s.MaxRecords(Threaded)
+	n := 3 * bound
+	var formed []int64
+	var runIdx []int
+	var merged []int64
+	res, err := s.Sort(context.Background(), Generate(record.Uniform{Seed: 2}, n), Discard(),
+		WithProgress(func(ev Progress) {
+			switch {
+			case ev.FormedRecords > 0:
+				if ev.TotalRecords != n {
+					t.Errorf("formation event TotalRecords = %d, want %d", ev.TotalRecords, n)
+				}
+				formed = append(formed, ev.FormedRecords)
+				if len(runIdx) == 0 || runIdx[len(runIdx)-1] != ev.Batch {
+					runIdx = append(runIdx, ev.Batch)
+				}
+			case ev.MergedRecords > 0:
+				merged = append(merged, ev.MergedRecords)
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if len(formed) == 0 || formed[len(formed)-1] != n {
+		t.Errorf("formation progress %v does not end at %d", formed, n)
+	}
+	for i := 1; i < len(formed); i++ {
+		if formed[i] <= formed[i-1] {
+			t.Errorf("formation progress not strictly increasing: %v", formed)
+		}
+	}
+	for i, r := range runIdx {
+		if r != i+1 {
+			t.Errorf("run indices %v are not 1..%d", runIdx, len(runIdx))
+			break
+		}
+	}
+	if len(runIdx) != res.Merge.Runs {
+		t.Errorf("saw %d distinct run indices, Merge.Runs = %d", len(runIdx), res.Merge.Runs)
+	}
+	if len(merged) == 0 || merged[len(merged)-1] != n {
+		t.Errorf("merge progress %v does not end at %d", merged, n)
+	}
+}
+
+// TestMergeProgressMonotoneMultiLevel pins the cumulative merge progress
+// across a multi-level tree: one nondecreasing MergedRecords sequence with a
+// constant TotalRecords covering every intermediate merge plus the final one.
+func TestMergeProgressMonotoneMultiLevel(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	const p, mem, z = 4, 256, 16
+	s, err := New(Config{Procs: p, MemPerProc: mem, RecordSize: z})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := s.MaxRecords(Threaded)
+	n := 8 * bound
+	var merged []int64
+	var total int64
+	res, err := s.Sort(context.Background(), Generate(record.Uniform{Seed: 11}, n), Discard(),
+		WithAlgorithm(Threaded), WithMergeFanIn(2), WithRunFormation(FixedBatch),
+		WithProgress(func(ev Progress) {
+			if ev.Pass == 0 && ev.MergedRecords > 0 {
+				if total == 0 {
+					total = ev.TotalRecords
+				} else if ev.TotalRecords != total {
+					t.Errorf("merge TotalRecords changed mid-stream: %d then %d", total, ev.TotalRecords)
+				}
+				merged = append(merged, ev.MergedRecords)
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if res.Merge.Levels < 2 {
+		t.Fatalf("merge tree has %d levels, want ≥ 2 (the test needs intermediate merges)", res.Merge.Levels)
+	}
+	// The cumulative total covers intermediate merge output plus the final
+	// merge's n records — strictly more than n with ≥ 2 levels.
+	if total <= n {
+		t.Errorf("cumulative merge total = %d, want > %d with intermediate levels", total, n)
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i] < merged[i-1] {
+			t.Fatalf("merge progress not monotone at %d: %d then %d", i, merged[i-1], merged[i])
+		}
+	}
+	if len(merged) == 0 || merged[len(merged)-1] != total {
+		t.Errorf("merge progress ends at %d, want the advertised total %d", merged[len(merged)-1], total)
 	}
 }

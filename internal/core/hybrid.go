@@ -60,11 +60,11 @@ func NewHybridPlan(n int64, p, d, memPerProc, recSize, g int) (Plan, error) {
 		return pl, fmt.Errorf("core: s=%d must divide M/P=%d for balanced group writes", pl.S, memPerProc)
 	}
 	if !bounds.HeightOK(bounds.Threaded, int64(pl.R), int64(pl.S)) {
-		return pl, fmt.Errorf("core: hybrid height restriction violated: r=%d < 2s²=%d (%w)",
-			pl.R, 2*pl.S*pl.S, ErrTooLarge)
+		return pl, fmt.Errorf("core: hybrid %w: r=%d < 2s²=%d (%w)",
+			ErrHeightRestriction, pl.R, 2*pl.S*pl.S, ErrTooLarge)
 	}
 	if pl.S > 1 && !bounds.InCoreOK(int64(memPerProc), int64(g)) {
-		return pl, fmt.Errorf("core: in-core height restriction violated within groups: M/P=%d < 2g²=%d", memPerProc, 2*g*g)
+		return pl, fmt.Errorf("core: in-core %w within groups: M/P=%d < 2g²=%d", ErrHeightRestriction, memPerProc, 2*g*g)
 	}
 	return pl, nil
 }

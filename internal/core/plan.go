@@ -34,6 +34,13 @@ import (
 // divisibility failures. Callers detect it with errors.Is.
 var ErrTooLarge = errors.New("problem-size restriction exceeded")
 
+// ErrHeightRestriction marks plan failures caused specifically by a
+// columnsort height restriction (r ≥ 2s², its relaxed and in-core
+// variants) — the geometric condition the source paper relaxes. It rides
+// along with ErrTooLarge where growing N cannot help; callers detect it
+// with errors.Is.
+var ErrHeightRestriction = errors.New("height restriction violated")
+
 // Algorithm selects the out-of-core sorting program.
 type Algorithm int
 
@@ -179,8 +186,8 @@ func NewPlan(alg Algorithm, n int64, p, d, memPerProc, recSize int) (Plan, error
 	switch alg {
 	case Threaded4, Threaded, MColumn:
 		if !bounds.HeightOK(bounds.Threaded, int64(pl.R), int64(pl.S)) {
-			return pl, fmt.Errorf("core: %v height restriction violated: r=%d < 2s²=%d (%w)",
-				alg, pl.R, 2*pl.S*pl.S, ErrTooLarge)
+			return pl, fmt.Errorf("core: %v %w: r=%d < 2s²=%d (%w)",
+				alg, ErrHeightRestriction, pl.R, 2*pl.S*pl.S, ErrTooLarge)
 		}
 	case Subblock, Combined:
 		if !bitperm.IsPow4(pl.S) {
@@ -188,8 +195,8 @@ func NewPlan(alg Algorithm, n int64, p, d, memPerProc, recSize int) (Plan, error
 		}
 		if !bounds.HeightOK(bounds.Subblock, int64(pl.R), int64(pl.S)) {
 			q := bitperm.Sqrt(pl.S)
-			return pl, fmt.Errorf("core: relaxed height restriction violated: r=%d < 4s^(3/2)=%d (%w)",
-				pl.R, 4*pl.S*q, ErrTooLarge)
+			return pl, fmt.Errorf("core: relaxed %w: r=%d < 4s^(3/2)=%d (%w)",
+				ErrHeightRestriction, pl.R, 4*pl.S*q, ErrTooLarge)
 		}
 	case BaselineIO3, BaselineIO4:
 		// No height restriction: baselines just stream the data.
@@ -214,7 +221,7 @@ func NewPlan(alg Algorithm, n int64, p, d, memPerProc, recSize int) (Plan, error
 		// The distributed in-core sort is itself a columnsort on an
 		// (M/P)×P matrix.
 		if pl.S > 1 && !bounds.InCoreOK(int64(memPerProc), int64(p)) {
-			return pl, fmt.Errorf("core: in-core height restriction violated: M/P=%d < 2P²=%d", memPerProc, 2*p*p)
+			return pl, fmt.Errorf("core: in-core %w: M/P=%d < 2P²=%d", ErrHeightRestriction, memPerProc, 2*p*p)
 		}
 	}
 	return pl, nil

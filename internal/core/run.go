@@ -59,11 +59,16 @@ type Progress struct {
 	Round  int `json:"round"`  // rounds completed by rank 0 within this pass
 	Rounds int `json:"rounds"` // rounds per processor per pass
 
-	Batch   int `json:"batch,omitempty"`   // 1-based run-formation batch (hierarchical sorts only)
+	Batch   int `json:"batch,omitempty"`   // 1-based run-formation batch/run (hierarchical sorts only)
 	Batches int `json:"batches,omitempty"` // total run-formation batches (hierarchical sorts only)
 
+	// FormedRecords reports replacement-selection run formation: records
+	// emitted into spilled runs so far (formation events have Pass == 0 and
+	// Batch set to the current run's 1-based index).
+	FormedRecords int64 `json:"formed_records,omitempty"`
+
 	MergedRecords int64 `json:"merged_records,omitempty"` // records emitted by the merge so far (merge events)
-	TotalRecords  int64 `json:"total_records,omitempty"`  // total records the merge will emit (merge events)
+	TotalRecords  int64 `json:"total_records,omitempty"`  // total records the merge (or formation) will emit
 }
 
 // Hooks customizes a run. The zero value disables every hook.

@@ -82,10 +82,9 @@ func Merge(ctx context.Context, runs []*Run, emit func(record.Slice) error, opt 
 		chunkRecs = DefaultChunkRecs
 	}
 
-	readers := make([]*Reader, len(runs))
+	readers := make([]runReader, len(runs))
 	for i, r := range runs {
-		readers[i] = NewReader(r, chunkRecs)
-		readers[i].faults = opt.Faults
+		readers[i] = newRunReader(r, chunkRecs, opt.Faults)
 	}
 	for _, rd := range readers {
 		if err := rd.Prime(); err != nil {
@@ -212,12 +211,12 @@ func MergeToRun(ctx context.Context, runs []*Run, d pdm.Disk, opt Options) (*Run
 // The leaf count is padded to a power of two with permanently exhausted
 // dummies. Ties break on run index for determinism.
 type tree struct {
-	readers []*Reader
+	readers []runReader
 	node    []int
 	k       int
 }
 
-func (t *tree) init(readers []*Reader) {
+func (t *tree) init(readers []runReader) {
 	t.readers = readers
 	t.k = 1
 	for t.k < len(readers) {

@@ -44,6 +44,12 @@ type Run struct {
 	RecSize int
 	Records int64
 
+	// Descending marks a run spilled in descending order (replacement
+	// selection's "down" runs). Such runs are consumed through a
+	// ReverseReader so every merge input is ascending; the on-disk layout
+	// and CRC framing are identical to an ascending run's.
+	Descending bool
+
 	// FrameBytes is the CRC frame length (0: unframed legacy run); crcs[i]
 	// is the CRC32C of bytes [i·FrameBytes, min((i+1)·FrameBytes, Bytes())).
 	FrameBytes int
@@ -324,3 +330,149 @@ func (r *Reader) Advance() error {
 
 // BytesRead returns the bytes loaded so far (stats).
 func (r *Reader) BytesRead() int64 { return r.bytesRead }
+
+// runReader is the stream contract the loser tree merges over: Reader for
+// ascending runs, ReverseReader for descending ones. Both present records
+// in ASCENDING order with a cached 8-byte key prefix.
+type runReader interface {
+	Prime() error
+	Cur() []byte
+	Key() uint64
+	done() bool
+	Advance() error
+	BytesRead() int64
+}
+
+// newRunReader opens the appropriate reader for the run's spill
+// orientation, wiring the fault counters through.
+func newRunReader(run *Run, chunkRecs int, faults *pdm.FaultStats) runReader {
+	if run.Descending {
+		rr := NewReverseReader(run, chunkRecs)
+		rr.faults = faults
+		return rr
+	}
+	r := NewReader(run, chunkRecs)
+	r.faults = faults
+	return r
+}
+
+// ReverseReader streams a DESCENDING run's records in ASCENDING order by
+// walking the run backwards: chunks are loaded last to first and records
+// consumed back to front within each chunk. Loads stay on the same
+// frame-aligned grid a forward Reader uses (anchored at offset 0), so CRC
+// verification — including the alignment invariant of readFrameVerified
+// and its one-reread healing — applies unchanged; only the visit order
+// flips. Each load hints the PREVIOUS extent to the disk's Prefetcher, the
+// mirror image of the forward reader's one-ahead schedule.
+type ReverseReader struct {
+	run        *Run
+	chunk      []byte
+	cur        []byte // current chunk's live bytes
+	pos        int    // byte position of the current record within cur (walks down)
+	key        uint64 // 8-byte key prefix of the current record
+	frame      int64  // index of the next chunk to load, counting down; -1 when none left
+	chunkBytes int64
+	bytesRead  int64
+	primed     bool
+
+	faults *pdm.FaultStats // CRC detection/heal counters; may be nil
+}
+
+// NewReverseReader opens a backwards reader over run, loading chunkRecs
+// records per disk read. A CRC-framed run overrides the chunk size with its
+// frame length, so every load is exactly one verifiable frame.
+func NewReverseReader(run *Run, chunkRecs int) *ReverseReader {
+	if chunkRecs < 1 {
+		chunkRecs = 1
+	}
+	chunkBytes := int64(chunkRecs * run.RecSize)
+	if run.framed() {
+		chunkBytes = int64(run.FrameBytes)
+	}
+	frames := (run.Bytes() + chunkBytes - 1) / chunkBytes
+	return &ReverseReader{
+		run:        run,
+		chunk:      make([]byte, chunkBytes),
+		chunkBytes: chunkBytes,
+		frame:      frames - 1,
+		pos:        -1,
+	}
+}
+
+// extentOf returns the offset and length of grid chunk i (only the last
+// chunk of the run may be short).
+func (r *ReverseReader) extentOf(i int64) (int64, int) {
+	off := i * r.chunkBytes
+	n := r.run.Bytes() - off
+	if n > r.chunkBytes {
+		n = r.chunkBytes
+	}
+	return off, int(n)
+}
+
+// load reads the next chunk (one lower on the grid) and hints the one
+// before it, positioning on the chunk's LAST record.
+func (r *ReverseReader) load() error {
+	if r.frame < 0 {
+		r.cur, r.pos = nil, -1
+		return nil
+	}
+	off, n := r.extentOf(r.frame)
+	buf := r.chunk[:n]
+	if err := r.run.readFrameVerified(buf, off, r.faults); err != nil {
+		return err
+	}
+	r.frame--
+	r.bytesRead += int64(n)
+	r.cur = buf
+	r.pos = n - r.run.RecSize
+	r.key = binary.BigEndian.Uint64(buf[r.pos:])
+	if p, ok := r.run.Disk.(pdm.Prefetcher); ok && r.frame >= 0 {
+		poff, pn := r.extentOf(r.frame)
+		p.Prefetch(poff, pn)
+	}
+	return nil
+}
+
+// Prime loads the last chunk (the smallest records) and hints the one
+// before it; it must be called once before Cur/Advance.
+func (r *ReverseReader) Prime() error {
+	if r.primed {
+		return nil
+	}
+	r.primed = true
+	if p, ok := r.run.Disk.(pdm.Prefetcher); ok && r.frame >= 0 {
+		off, n := r.extentOf(r.frame)
+		p.Prefetch(off, n)
+	}
+	return r.load()
+}
+
+// Cur returns the current record's bytes, or nil when the run is exhausted.
+func (r *ReverseReader) Cur() []byte {
+	if r.pos < 0 {
+		return nil
+	}
+	return r.cur[r.pos : r.pos+r.run.RecSize]
+}
+
+// done reports run exhaustion without materializing the record slice.
+func (r *ReverseReader) done() bool { return r.pos < 0 }
+
+// Key returns the current record's cached 8-byte big-endian key prefix.
+// Valid only while done() is false.
+func (r *ReverseReader) Key() uint64 { return r.key }
+
+// Advance moves to the previous on-disk record (the next in ascending
+// order), loading the preceding chunk when the current one is consumed.
+func (r *ReverseReader) Advance() error {
+	r.pos -= r.run.RecSize
+	if r.pos < 0 {
+		return r.load()
+	}
+	r.key = binary.BigEndian.Uint64(r.cur[r.pos:])
+	return nil
+}
+
+// BytesRead returns the bytes loaded so far (stats).
+func (r *ReverseReader) BytesRead() int64 { return r.bytesRead }

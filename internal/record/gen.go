@@ -109,6 +109,50 @@ func (g NearlySorted) Gen(rec []byte, idx int64) {
 	fillPayload(rec, h)
 }
 
+// NearlyReverse is the descending mirror of NearlySorted: keys decrease
+// with the index up to a bounded random displacement, modelling a log
+// re-sorted into the opposite order. Replacement selection should absorb
+// it into very few descending runs.
+type NearlyReverse struct {
+	Seed   uint64
+	Window uint64 // max displacement; 0 means 1024
+}
+
+func (g NearlyReverse) Name() string { return "nearly-reverse" }
+
+func (g NearlyReverse) Gen(rec []byte, idx int64) {
+	w := g.Window
+	if w == 0 {
+		w = 1024
+	}
+	h := splitmix64(g.Seed ^ uint64(idx)*0x9e3779b97f4a7c15)
+	k := math.MaxUint64 - uint64(idx)*w - h%w
+	PutKey(rec, k)
+	fillPayload(rec, h)
+}
+
+// Disordered generates a sorted sequence where each record's key is
+// displaced by at most K positions (keys overlap across neighbours, unlike
+// NearlySorted's disjoint windows), so genuine local inversions occur but
+// no record is globally far from home — the k-disordered model of "Run
+// Generation Revisited".
+type Disordered struct {
+	Seed uint64
+	K    uint64 // max displacement in positions; 0 means 64
+}
+
+func (g Disordered) Name() string { return "k-disordered" }
+
+func (g Disordered) Gen(rec []byte, idx int64) {
+	k := g.K
+	if k == 0 {
+		k = 64
+	}
+	h := splitmix64(g.Seed ^ uint64(idx)*0x9e3779b97f4a7c15)
+	PutKey(rec, uint64(idx)+h%(2*k+1))
+	fillPayload(rec, h)
+}
+
 // Gaussian approximates a clustered key distribution (sum of uniforms),
 // modelling seismic-amplitude-like data where keys bunch around a mean.
 type Gaussian struct{ Seed uint64 }
@@ -164,6 +208,10 @@ func ByName(name string, seed uint64) (Generator, bool) {
 		return Reverse{Seed: seed}, true
 	case "nearly-sorted", "nearly":
 		return NearlySorted{Seed: seed}, true
+	case "nearly-reverse":
+		return NearlyReverse{Seed: seed}, true
+	case "k-disordered", "disordered":
+		return Disordered{Seed: seed}, true
 	case "gaussian":
 		return Gaussian{Seed: seed}, true
 	case "zipf":
@@ -174,5 +222,5 @@ func ByName(name string, seed uint64) (Generator, bool) {
 
 // Names lists all generator names accepted by ByName.
 func Names() []string {
-	return []string{"uniform", "duplicates", "sorted", "reverse", "nearly-sorted", "gaussian", "zipf"}
+	return []string{"uniform", "duplicates", "sorted", "reverse", "nearly-sorted", "nearly-reverse", "k-disordered", "gaussian", "zipf"}
 }

@@ -38,6 +38,15 @@ type progressEvent struct {
 
 // eventOf computes the phase and percent of one engine Progress event.
 func eventOf(p colsort.Progress) progressEvent {
+	if p.FormedRecords > 0 {
+		// Replacement-selection run formation: the sort phase of a
+		// hierarchical job, reported as records absorbed into runs.
+		return progressEvent{
+			Phase:    "sort",
+			Percent:  math.Round(10000*float64(p.FormedRecords)/float64(p.TotalRecords)) / 100,
+			Progress: p,
+		}
+	}
 	if p.TotalRecords > 0 {
 		return progressEvent{
 			Phase:    "merge",

@@ -145,6 +145,18 @@ func writeMetrics(w io.Writer, st colsort.EngineStats, draining bool, m *metrics
 		counter(mc.name, mc.help, float64(mc.v))
 	}
 
+	for _, mc := range []struct {
+		name, help string
+		v          int64
+	}{
+		{"colsort_merge_runs_formed_total", "Sorted runs spilled by hierarchical jobs (both formation modes).", st.RunsFormed},
+		{"colsort_merge_down_runs_formed_total", "Descending runs formed by replacement selection.", st.DownRunsFormed},
+		{"colsort_merge_run_records_total", "Records that streamed through hierarchical run formation.", st.RunRecordsFormed},
+		{"colsort_merge_levels_total", "Merge-tree levels executed by hierarchical jobs.", st.MergeLevelsRun},
+	} {
+		counter(mc.name, mc.help, float64(mc.v))
+	}
+
 	f := st.Faults
 	for _, mc := range []struct {
 		name, help string

@@ -102,8 +102,9 @@ type sortOptions struct {
 	keySpec   KeySpec
 	padding   PaddingPolicy
 	progress  func(Progress)
-	maxMemory int64 // bytes one run may hold; 0 = only the algorithm's bound
-	fanIn     int   // merge fan-in; 0 = defaultMergeFanIn
+	maxMemory int64        // bytes one run may hold; 0 = only the algorithm's bound
+	fanIn     int          // merge fan-in; 0 = defaultMergeFanIn
+	formation RunFormation // hierarchical run formation; zero value ReplacementSelect
 	fabric    Fabric
 	retry     *RetryPolicy
 	noWait    bool // fail with ErrBusy instead of queueing for admission
@@ -174,6 +175,50 @@ func WithMaxMemory(bytes int64) Option {
 // buffers) competing at once.
 func WithMergeFanIn(k int) Option {
 	return func(o *sortOptions) { o.fanIn = k }
+}
+
+// RunFormation selects how the hierarchical path cuts the input stream
+// into sorted runs before the k-way merge.
+type RunFormation int
+
+const (
+	// ReplacementSelect (the default) forms maximal variable-length runs by
+	// heap-based replacement selection: runs average ~2× the memory cap on
+	// random input and collapse to a single run on sorted or nearly-sorted
+	// input (ascending or descending — "down" runs are spilled descending
+	// and merged through a reversed reader). Run count becomes
+	// data-dependent; the fixed-batch arithmetic is its worst-case bound.
+	ReplacementSelect RunFormation = iota
+	// FixedBatch spills one run per memory-cap-sized batch, each sorted by
+	// a full engine execution — the PR 4 behaviour, kept as the exactly
+	// predictable equivalence baseline.
+	FixedBatch
+)
+
+// String returns the CLI/wire name of the formation mode.
+func (f RunFormation) String() string {
+	if f == FixedBatch {
+		return "fixed-batch"
+	}
+	return "replacement-select"
+}
+
+// RunFormationByName parses the CLI/wire name of a formation mode.
+func RunFormationByName(name string) (RunFormation, bool) {
+	switch name {
+	case "replacement-select", "replacement-selection", "rs":
+		return ReplacementSelect, true
+	case "fixed-batch", "fixed":
+		return FixedBatch, true
+	}
+	return 0, false
+}
+
+// WithRunFormation selects the hierarchical run-formation strategy
+// (default ReplacementSelect). It has no effect on sorts that fit a single
+// run. See RunFormation for the trade-off.
+func WithRunFormation(f RunFormation) Option {
+	return func(o *sortOptions) { o.formation = f }
 }
 
 // WithFabric selects the cluster interconnect mode for this sort (default

@@ -35,7 +35,7 @@ else
 	OUT="BENCH_$i.json"
 fi
 BENCHTIME="${BENCHTIME:-3x}"
-BENCH="${BENCH:-^(BenchmarkLocalSort|BenchmarkMergeRuns|BenchmarkE6InCore|BenchmarkFigure2|BenchmarkFigure2File|BenchmarkMergeSortFile|BenchmarkConcurrentJobs)$}"
+BENCH="${BENCH:-^(BenchmarkLocalSort|BenchmarkMergeRuns|BenchmarkE6InCore|BenchmarkFigure2|BenchmarkFigure2File|BenchmarkMergeSortFile|BenchmarkRunFormation|BenchmarkConcurrentJobs)$}"
 
 RAW=$(mktemp "${TMPDIR:-/tmp}/bench.XXXXXX")
 trap 'rm -f "$RAW"' EXIT INT TERM

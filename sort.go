@@ -91,10 +91,11 @@ func (e *Engine) Sort(ctx context.Context, src Source, dst Sink, opts ...Option)
 	var ask int64
 	if hier {
 		if dst == nil {
-			// Wrap ErrTooLarge: callers branching on the sentinel (the
-			// legacy above-bound failure mode) must keep matching when the
-			// only thing missing is a Sink.
-			return nil, fmt.Errorf("colsort: %d records exceed the single-run bound (%w) and must stream through the hierarchical merge: pass a non-nil Sink (Discard() drops the output)", n, core.ErrTooLarge)
+			// Wrap BOTH sentinels: ErrSinkRequired names what is missing,
+			// and callers branching on ErrTooLarge (the legacy above-bound
+			// failure mode) must keep matching when the only thing missing
+			// is a Sink.
+			return nil, fmt.Errorf("%w: %d records exceed the single-run bound (%w) and must stream through the hierarchical merge; pass a non-nil Sink (Discard() drops the output)", ErrSinkRequired, n, core.ErrTooLarge)
 		}
 		if runPl, err = e.planRun(o); err != nil {
 			return nil, err

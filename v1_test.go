@@ -18,7 +18,6 @@ import (
 	"path/filepath"
 	"reflect"
 	"sort"
-	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -366,7 +365,8 @@ func TestSortProgressEvents(t *testing.T) {
 }
 
 // TestPlanPaddedErrorNamesAlgorithmAndRange: "no power-of-two padding is
-// sortable" failures must say which algorithm and which Ns were tried.
+// sortable" failures must carry which algorithm and which Ns were tried,
+// as structured PaddingError fields rather than prose to parse.
 func TestPlanPaddedErrorNamesAlgorithmAndRange(t *testing.T) {
 	s := newSorter(t, 2, 8, 16) // tiny memory: nothing big is plannable
 	_, err := s.Sort(context.Background(), Generate(record.Uniform{Seed: 1}, 1<<20), nil,
@@ -374,10 +374,15 @@ func TestPlanPaddedErrorNamesAlgorithmAndRange(t *testing.T) {
 	if err == nil {
 		t.Fatal("expected a planning error")
 	}
-	for _, want := range []string{"threaded", "tried N = "} {
-		if !strings.Contains(err.Error(), want) {
-			t.Errorf("error %q does not mention %q", err, want)
-		}
+	var pe *PaddingError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *PaddingError", err)
+	}
+	if pe.Alg != Threaded || pe.Records != 1<<20 {
+		t.Errorf("PaddingError = %+v, want Alg=threaded Records=%d", pe, 1<<20)
+	}
+	if pe.First < 1<<20 || pe.Last < pe.First || pe.Err == nil {
+		t.Errorf("PaddingError range/cause inconsistent: %+v", pe)
 	}
 }
 

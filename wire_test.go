@@ -47,9 +47,23 @@ func TestWireEncodingGolden(t *testing.T) {
 			want: `{"pass":0,"passes":0,"round":0,"rounds":0,"merged_records":512,"total_records":2048}`,
 		},
 		{
+			name: "progress formation event",
+			v:    Progress{Batch: 3, Batches: 5, FormedRecords: 700, TotalRecords: 2048},
+			want: `{"pass":0,"passes":0,"round":0,"rounds":0,"batch":3,"batches":5,"formed_records":700,"total_records":2048}`,
+		},
+		{
 			name: "merge stats",
 			v:    MergeStats{Runs: 8, Levels: 2, FanIn: 4, RunRecords: 4096, BytesRead: 100, BytesWritten: 200},
 			want: `{"runs":8,"levels":2,"fan_in":4,"run_records":4096,"bytes_read":100,"bytes_written":200}`,
+		},
+		{
+			name: "merge stats replacement selection",
+			v: MergeStats{
+				Runs: 5, Levels: 1, FanIn: 16, RunRecords: 4096, BytesRead: 100, BytesWritten: 200,
+				Formation: "replacement-select", DownRuns: 2, MinRunRecords: 512, MaxRunRecords: 9000,
+			},
+			want: `{"runs":5,"levels":1,"fan_in":16,"run_records":4096,"bytes_read":100,"bytes_written":200,` +
+				`"formation":"replacement-select","down_runs":2,"min_run_records":512,"max_run_records":9000}`,
 		},
 		{
 			name: "fault stats",
@@ -74,6 +88,20 @@ func TestWireEncodingGolden(t *testing.T) {
 				`"leased_bytes":5,"peak_leased_bytes":6,"total_memory":7,"pool_free_buffers":8,"pool_free_bytes":9,` +
 				`"counters":` + countersJSON + `,` +
 				`"faults":{"disk_retries":17,"disk_give_ups":0,"corrupt_chunks":0,"chunk_rereads":0,"batch_redos":0}}`,
+		},
+		{
+			name: "engine stats with run formation",
+			v: EngineStats{
+				CompletedJobs: 1,
+				RunsFormed:    6, DownRunsFormed: 2, RunRecordsFormed: 40000, MergeLevelsRun: 1,
+			},
+			want: `{"active_jobs":0,"queued_jobs":0,"completed_jobs":1,"failed_jobs":0,` +
+				`"leased_bytes":0,"peak_leased_bytes":0,"total_memory":0,"pool_free_buffers":0,"pool_free_bytes":0,` +
+				`"counters":{"disk_read_bytes":0,"disk_write_bytes":0,"disk_read_ops":0,"disk_write_ops":0,` +
+				`"net_bytes":0,"net_msgs":0,"local_bytes":0,"local_msgs":0,"compare_units":0,"moved_bytes":0,` +
+				`"rounds":0,"disk_retries":0,"disk_give_ups":0,"corrupt_chunks":0,"chunk_rereads":0,"batch_redos":0},` +
+				`"faults":{"disk_retries":0,"disk_give_ups":0,"corrupt_chunks":0,"chunk_rereads":0,"batch_redos":0},` +
+				`"runs_formed":6,"down_runs_formed":2,"run_records_formed":40000,"merge_levels_run":1}`,
 		},
 		{
 			name: "result summary single run",
