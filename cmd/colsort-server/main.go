@@ -60,6 +60,8 @@ func main() {
 	dataDir := flag.String("data", "", "root directory for server-side file jobs via POST /v1/jobs (empty: endpoint disabled)")
 	retainJobs := flag.Int("retain-jobs", 0, "finished jobs kept for GET /v1/jobs/{id} (0: default 256)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a shutdown waits for in-flight jobs before cancelling them")
+	writeTimeout := flag.Duration("write-timeout", time.Minute, "per-write deadline on streaming responses and SSE pushes (0: none)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout (0: none)")
 	flag.Parse()
 
 	eng, err := colsort.NewEngine(colsort.EngineConfig{
@@ -75,15 +77,22 @@ func main() {
 		os.Exit(1)
 	}
 
-	srv := server.New(eng, server.Config{
-		MaxJobs:    *jobs,
-		DataDir:    *dataDir,
-		RetainJobs: *retainJobs,
+	srv, err := server.New(eng, server.Config{
+		MaxJobs:      *jobs,
+		DataDir:      *dataDir,
+		RetainJobs:   *retainJobs,
+		WriteTimeout: *writeTimeout,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		eng.Close()
+		os.Exit(1)
+	}
 	httpSrv := &http.Server{
 		Addr:              *listen,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -37,6 +37,12 @@
 // spill disk — to exercise those layers; a chaos run prints its seed, and
 // COLSORT_CHAOS_SEED (or -chaos-seed) replays it.
 //
+// -checkpoint DIR persists a run manifest while a hierarchical sort spills
+// its runs; after a crash or Ctrl-C, the same command with -resume picks
+// the sort back up from that manifest, adopting the durable runs instead of
+// re-sorting them (see DESIGN.md §13). -deadline bounds the whole sort's
+// wall clock, failing it cleanly when exceeded.
+//
 // -jobs N serves N concurrent sorts from ONE shared engine (warm buffer
 // pools, shared scratch, per-job fault isolation); -total-memory-mib caps
 // the engine's aggregate record-buffer budget, queueing jobs that do not
@@ -103,6 +109,9 @@ func main() {
 	desc := flag.Bool("desc", false, "sort the key field in descending order")
 	progress := flag.Bool("progress", false, "print pass/round completion as the sort runs")
 	planOnly := flag.Bool("plan", false, "print the plan and exit")
+	checkpoint := flag.String("checkpoint", "", "hierarchical sorts: persist a run manifest under this directory so a crashed or cancelled sort can be picked back up with -resume")
+	resume := flag.Bool("resume", false, "resume the checkpointed sort whose manifest -checkpoint holds, adopting its durable runs instead of re-sorting (requires -checkpoint, -in and -out)")
+	deadline := flag.Duration("deadline", 0, "fail the sort if it has not completed within this duration (0: none)")
 	jobs := flag.Int("jobs", 1, "serve this many concurrent sorts from one shared engine (generated inputs get per-job seeds; with -in, job J writes <out>.jobJ)")
 	totalMemMiB := flag.Int64("total-memory-mib", 0, "engine-wide record-buffer budget in MiB; jobs over the remaining budget queue until earlier jobs finish (0: unlimited)")
 	flag.Parse()
@@ -164,6 +173,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-jobs must be at least 1")
 		os.Exit(2)
 	}
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "-resume needs the manifest directory: pass -checkpoint DIR")
+		os.Exit(2)
+	}
+	if *resume && (*inPath == "" || *outPath == "") {
+		fmt.Fprintln(os.Stderr, "-resume requires -in and -out (the original input, and a file to stream the output into)")
+		os.Exit(2)
+	}
+	if *checkpoint != "" && *jobs > 1 {
+		fmt.Fprintln(os.Stderr, "-checkpoint holds one job's manifest; it cannot be shared across -jobs")
+		os.Exit(2)
+	}
 	engine, err := colsort.NewEngine(colsort.EngineConfig{
 		Config:      cfg,
 		TotalMemory: *totalMemMiB << 20,
@@ -190,6 +211,12 @@ func main() {
 		opts = append(opts, colsort.WithMergeFanIn(*mergeFanIn))
 	}
 	opts = append(opts, colsort.WithRunFormation(formation))
+	if *checkpoint != "" {
+		opts = append(opts, colsort.WithCheckpoint(*checkpoint))
+	}
+	if *deadline > 0 {
+		opts = append(opts, colsort.WithDeadline(*deadline))
+	}
 	if *retries != 0 || *retryBaseUS != 0 || *redoBudget != 0 || *scrub {
 		opts = append(opts, colsort.WithRetry(colsort.RetryPolicy{
 			MaxAttempts: *retries,
@@ -287,11 +314,20 @@ func main() {
 	}
 
 	start := time.Now()
-	res, err := engine.Sort(ctx, srcFor(0), dstFor(0), opts...)
+	var res *colsort.Result
+	if *resume {
+		res, err = engine.Resume(ctx, *checkpoint, srcFor(0), dstFor(0), opts...)
+	} else {
+		res, err = engine.Sort(ctx, srcFor(0), dstFor(0), opts...)
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "interrupted: sort cancelled, scratch cleaned up")
 			os.Exit(130)
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "deadline exceeded: the sort did not complete within -deadline %v\n", *deadline)
+			os.Exit(1)
 		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -83,6 +83,13 @@ var ErrSinkRequired = errors.New("colsort: a non-nil Sink is required")
 // errors.Is.
 var ErrMemoryTooSmall = errors.New("colsort: the WithMaxMemory cap is too small")
 
+// ErrNoSpace marks a spill write that failed because the underlying device
+// is full (ENOSPC/EDQUOT). It is classified permanent in the fault
+// taxonomy: the job fails fast without burning retry or batch-redo budget,
+// since a full disk never heals by retrying the same write. Detect with
+// errors.Is.
+var ErrNoSpace = pdm.ErrNoSpace
+
 // PaddingError reports that no power-of-two padded record count makes n
 // sortable with the requested algorithm. It records the range the planner
 // searched; Unwrap yields the planner's final verdict (which wraps
@@ -362,6 +369,11 @@ type MergeStats struct {
 	// data-dependence of replacement selection observable.
 	MinRunRecords int64 `json:"min_run_records,omitempty"`
 	MaxRunRecords int64 `json:"max_run_records,omitempty"`
+	// ResumedRuns counts verified runs adopted from a persisted manifest by
+	// Engine.Resume instead of being re-sorted; always 0 on an
+	// uninterrupted sort. A merge-phase resume has ResumedRuns == Runs:
+	// zero batches were re-sorted.
+	ResumedRuns int `json:"resumed_runs,omitempty"`
 }
 
 // ResultSummary is the JSON-ready digest of a completed sort — the wire

@@ -90,6 +90,11 @@ type Engine struct {
 	downRunsFormed   int64
 	runRecordsFormed int64
 	mergeLevelsRun   int64
+
+	// Durable-job accounting: jobs that resumed from a manifest, and the
+	// verified runs they adopted without re-sorting.
+	jobsResumed int64
+	runsResumed int64
 }
 
 // waiter is one queued admission request. granted and err are written
@@ -295,6 +300,12 @@ type job struct {
 	id     int64
 	m      pdm.Machine
 	faults pdm.FaultStats
+
+	// ckpt is the job's manifest WAL when the job runs under
+	// WithCheckpoint; nil otherwise. All manifestLog methods are
+	// nil-receiver-safe, so call sites never guard on it for logging —
+	// only for the extra fsync work that has no point without a WAL.
+	ckpt *manifestLog
 }
 
 // newJob builds the per-job machine: a value copy of the engine's machine
@@ -334,6 +345,13 @@ func (e *Engine) newJob(ctx context.Context, o sortOptions) *job {
 	}
 	m.Retry = &rc
 	j.m = m.Namespaced(pdm.JobScratchPrefix(j.id))
+	if o.checkpoint != "" {
+		// Checkpointed jobs spill their hierarchical runs into the manifest
+		// directory as keep-on-close files — the durable state Resume
+		// reopens. Array disks (ingest stores, pipeline scratch) stay on the
+		// ordinary scratch backend: they are recomputed, never resumed.
+		j.m.SpillBackend = pdm.FileBackend{Dir: o.checkpoint, Prefix: ckptRunPrefix, Keep: true}
+	}
 	return j
 }
 
@@ -366,6 +384,10 @@ func (e *Engine) finishJob(res *Result, faults FaultStats, err error) {
 		e.downRunsFormed += int64(res.Merge.DownRuns)
 		e.runRecordsFormed += res.RealRecords()
 		e.mergeLevelsRun += int64(res.Merge.Levels)
+		if res.Merge.ResumedRuns > 0 {
+			e.jobsResumed++
+			e.runsResumed += int64(res.Merge.ResumedRuns)
+		}
 	}
 	e.cumFaults.accumulate(faults)
 }
@@ -418,6 +440,11 @@ type EngineStats struct {
 	DownRunsFormed   int64 `json:"down_runs_formed,omitempty"`
 	RunRecordsFormed int64 `json:"run_records_formed,omitempty"`
 	MergeLevelsRun   int64 `json:"merge_levels_run,omitempty"`
+	// JobsResumed counts jobs that completed via Engine.Resume from a
+	// persisted manifest; RunsResumed the verified runs those jobs adopted
+	// without re-sorting a single batch.
+	JobsResumed int64 `json:"jobs_resumed,omitempty"`
+	RunsResumed int64 `json:"runs_resumed,omitempty"`
 }
 
 // Config returns the engine's construction-time configuration (with the
@@ -445,6 +472,8 @@ func (e *Engine) Stats() EngineStats {
 		DownRunsFormed:   e.downRunsFormed,
 		RunRecordsFormed: e.runRecordsFormed,
 		MergeLevelsRun:   e.mergeLevelsRun,
+		JobsResumed:      e.jobsResumed,
+		RunsResumed:      e.runsResumed,
 	}
 	e.mu.Unlock()
 	for _, p := range e.m.Pools {

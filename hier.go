@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"os"
 
 	"context"
 
@@ -139,7 +140,16 @@ func (e *Engine) PlanHierarchical(alg Algorithm, n int64, maxMemory int64) (runP
 // on rd, on the job's machine. The caller has already compiled the codec,
 // validated the options, checked dst is non-nil, and chosen runPl; rd is
 // closed by Sort's defer.
-func (j *job) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink, o sortOptions, codec record.KeyCodec, n int64, runPl core.Plan) (*Result, error) {
+//
+// rs, when non-nil, is a crash-resume: the live runs a previous process
+// spilled and verified (reopened from the checkpoint manifest) are adopted
+// instead of re-formed. With rs.ingestDone the formation phase is skipped
+// entirely — zero records are re-sorted — and the merge restarts from the
+// durable run set; otherwise (fixed-batch formation) the source records the
+// durable runs cover are skipped (their multiset verified against the
+// manifest) and only the unfinished batches are formed. rd may be nil only
+// when rs.ingestDone.
+func (j *job) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink, o sortOptions, codec record.KeyCodec, n int64, runPl core.Plan, rs *resumeState) (*Result, error) {
 	fanIn := o.fanIn
 	if fanIn == 0 {
 		fanIn = defaultMergeFanIn
@@ -147,6 +157,26 @@ func (j *job) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink, o
 	chunk := j.e.mergeChunkRecs(o, fanIn)
 	nBatches := int((n + runPl.N - 1) / runPl.N)
 	stats := &MergeStats{FanIn: fanIn, RunRecords: runPl.N, Formation: o.formation.String()}
+
+	// Durability: open (or, on resume, reopen for appending) the manifest
+	// WAL. Every ckpt call below is a nil-safe no-op for ordinary jobs.
+	if o.checkpoint != "" {
+		firstID := 0
+		if rs != nil {
+			firstID = rs.maxID
+		}
+		ckpt, err := openManifestLog(o.checkpoint, firstID)
+		if err != nil {
+			return nil, err
+		}
+		j.ckpt = ckpt
+		defer func() { j.ckpt.close() }() // failure path: keep state, release the handle
+		if rs == nil {
+			if err := ckpt.logBegin(o, j.e.cfg.RecordSize, n, runPl.N, fanIn); err != nil {
+				return nil, err
+			}
+		}
+	}
 
 	// Recovery policy: how many whole batches may be re-sorted and
 	// re-spilled, and whether every spilled run gets a post-spill CRC
@@ -174,6 +204,7 @@ func (j *job) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink, o
 	}
 
 	live := make([]*merge.Run, 0, nBatches)
+	var ids []int // manifest ids parallel to live; populated only under checkpointing
 	defer func() {
 		for _, r := range live {
 			if r != nil {
@@ -184,7 +215,20 @@ func (j *job) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink, o
 
 	var want record.Checksum
 	var passCnts [][]sim.Counters
-	if o.formation == FixedBatch {
+	resumed := false
+	if rs != nil {
+		live = append(live, rs.live...)
+		ids = append(ids, rs.ids...)
+		rs.live = nil // this job owns them now
+		want = rs.want
+		stats.ResumedRuns = len(live)
+		resumed = rs.ingestDone
+	}
+	switch {
+	case rs != nil && rs.ingestDone:
+		// Merge-phase resume: every run is durable and verified; nothing is
+		// ingested or sorted in this process.
+	case o.formation == FixedBatch:
 		// Fixed-batch run formation: ingest one maximal batch at a time
 		// (the tail of the last batch padded with maximal records), sort it
 		// on the persistent fabric, verify it, and spill its real prefix —
@@ -196,7 +240,20 @@ func (j *job) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink, o
 		}
 		defer br.Close()
 		remaining := n
-		for b := 0; b < nBatches; b++ {
+		startBatch := 0
+		if rs != nil {
+			// Formation-phase resume: the durable runs cover the source's
+			// first rs.consumed records. Skip them — verifying their multiset
+			// against the manifest's checksum, so a changed source cannot
+			// silently merge against the old runs — and form only the
+			// batches the crash interrupted.
+			if err := skipConsumed(ctx, rd, codec, j.e.cfg.RecordSize, rs.consumed, rs.want); err != nil {
+				return nil, err
+			}
+			remaining -= rs.consumed
+			startBatch = len(live)
+		}
+		for b := startBatch; b < nBatches; b++ {
 			real := remaining
 			if real > runPl.N {
 				real = runPl.N
@@ -234,20 +291,75 @@ func (j *job) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink, o
 				stats.MaxRunRecords = real
 			}
 			live = append(live, run)
+			// Durability point: the run's bytes reach stable storage before
+			// the manifest entry that claims them does.
+			if j.ckpt != nil {
+				if err := pdm.SyncDisk(run.Disk); err != nil {
+					return nil, err
+				}
+				id, err := j.ckpt.logRun(run, n-remaining, want)
+				if err != nil {
+					return nil, err
+				}
+				ids = append(ids, id)
+			}
 		}
 		br.Close() // run formation done: release the fabric before merging
-	} else {
+	default:
 		// Replacement selection: the heap owns the run boundaries and the
 		// engine's fabric never runs — order comes from the heap, and
 		// verification from the merge's in-stream order check plus the
 		// final multiset comparison against the ingest checksum.
-		if err := j.formRunsReplacement(ctx, rd, o, codec, n, runPl, &live,
+		//
+		// A formation-phase resume cannot reach here: replacement-selection
+		// runs do not cover a contiguous source prefix (the heap's contents
+		// at the crash are unrecoverable), so Resume restarts RS formation
+		// from scratch and arrives with rs == nil.
+		if rs != nil {
+			return nil, fmt.Errorf("colsort: internal: formation-phase resume under replacement selection")
+		}
+		if err := j.formRunsReplacement(ctx, rd, o, codec, n, runPl, &live, &ids,
 			newSpill, chunk, scrub, redoBudget, stats, &want); err != nil {
+			return nil, err
+		}
+	}
+	if !resumed {
+		// Durability point: formation is complete and every run durable;
+		// after this entry a resume never re-sorts a single record.
+		if err := j.ckpt.logIngestDone(want); err != nil {
 			return nil, err
 		}
 	}
 	stats.Runs = len(live)
 	formSpill := stats.BytesWritten // formation-phase bytes, before any merge traffic
+	runs := live
+	live = nil // mergePhase owns the run set (and its close-on-error) now
+	return j.mergePhase(ctx, runs, ids, dst, o, codec, n, runPl, stats, want, passCnts, formSpill, nBatches, chunk, fanIn, resumed)
+}
+
+// mergePhase reduces the run set level by level and streams the final merge
+// into the sink, verifying order in-stream and the multiset at end of
+// stream. Under checkpointing each intermediate merge output becomes
+// durable (fsync + "merged" WAL entry) before its consumed inputs are
+// removed, so a crash at any point leaves a run set that re-merges to
+// byte-identical output; on success the checkpoint state is retired.
+// ids maps live runs to their manifest ids (parallel slice; nil when not
+// checkpointing). resumed marks a merge-phase resume, whose formation work
+// happened in a previous process.
+func (j *job) mergePhase(ctx context.Context, live []*merge.Run, ids []int, dst Sink, o sortOptions, codec record.KeyCodec, n int64, runPl core.Plan, stats *MergeStats, want record.Checksum, passCnts [][]sim.Counters, formSpill int64, nBatches, chunk, fanIn int, resumed bool) (*Result, error) {
+	defer func() {
+		for _, r := range live {
+			if r != nil {
+				r.Close()
+			}
+		}
+	}()
+	spillSeq := len(live)
+	newSpill := func() (pdm.Disk, error) {
+		d, err := j.m.NewSpillDisk(spillSeq)
+		spillSeq++
+		return d, err
+	}
 
 	// Merge progress is cumulative across EVERY level, against the total
 	// record count all merges together will emit — and clamped monotonic in
@@ -307,6 +419,7 @@ func (j *job) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink, o
 	for len(live) > fanIn {
 		stats.Levels++
 		next := make([]*merge.Run, 0, (len(live)+fanIn-1)/fanIn)
+		var nextIDs []int
 		for lo := 0; lo < len(live); lo += fanIn {
 			hi := lo + fanIn
 			if hi > len(live) {
@@ -315,6 +428,9 @@ func (j *job) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink, o
 			if hi == lo+1 { // a lone leftover run passes through unrewritten
 				next = append(next, live[lo])
 				live[lo] = nil
+				if j.ckpt != nil {
+					nextIDs = append(nextIDs, ids[lo])
+				}
 				continue
 			}
 			d, err := newSpill()
@@ -331,13 +447,36 @@ func (j *job) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink, o
 			stats.BytesRead += st.BytesRead
 			stats.BytesWritten += st.BytesWritten
 			mergedBase += out.Records
+			var outID int
+			if j.ckpt != nil {
+				// Durability points, in order: the merged output reaches
+				// stable storage; the WAL records it (with the input ids it
+				// consumed); only then are the consumed input files removed.
+				// A crash between any two steps leaves either the inputs
+				// live (the merge is redone) or the output live with orphan
+				// inputs (swept at resume) — never a gap in the data.
+				if err := pdm.SyncDisk(out.Disk); err != nil {
+					out.Close()
+					live = append(next, live[lo:]...)
+					return nil, err
+				}
+				if outID, err = j.ckpt.logMerged(out, ids[lo:hi]); err != nil {
+					out.Close()
+					live = append(next, live[lo:]...)
+					return nil, err
+				}
+			}
 			for i := lo; i < hi; i++ {
-				live[i].Close()
+				j.closeConsumedRun(live[i])
 				live[i] = nil
 			}
 			next = append(next, out)
+			if j.ckpt != nil {
+				nextIDs = append(nextIDs, outID)
+			}
 		}
 		live = next
+		ids = nextIDs
 	}
 
 	// Final merge: stream straight into the sink, decoding each chunk on
@@ -368,7 +507,32 @@ func (j *job) sortHierarchical(ctx context.Context, rd RecordReader, dst Sink, o
 	if !got.Equal(want) {
 		return nil, fmt.Errorf("colsort: streaming verification failed: the merged output's multiset (%d records) differs from the input's (%d); discard the sink's contents", got.Count, want.Count)
 	}
-	if o.formation != FixedBatch {
+	if j.ckpt != nil {
+		// The sink holds the verified output: record completion and retire
+		// the checkpoint state (manifest and remaining run files).
+		for i, r := range live {
+			if r != nil {
+				r.Close()
+				live[i] = nil
+			}
+		}
+		j.ckpt.complete()
+		j.ckpt = nil
+	}
+	if resumed {
+		// Only the merge ran in this process; account it as one synthetic
+		// pass so engine-wide counters reflect work actually performed here.
+		passCnts = [][]sim.Counters{
+			{{
+				CompareUnits:   (mergedBase + n) * int64(bits.Len64(uint64(fanIn))),
+				DiskReadBytes:  stats.BytesRead,
+				DiskReadOps:    int64(stats.Runs),
+				DiskWriteBytes: stats.BytesWritten,
+				DiskWriteOps:   int64(stats.Levels),
+				MovedBytes:     (mergedBase + n) * int64(runPl.Z),
+			}},
+		}
+	} else if o.formation != FixedBatch {
 		// The engine fabric never ran under replacement selection, so its
 		// real work — the selection heap and the merge tree — is accounted
 		// as two synthetic passes. Engine.Stats' cumulative counters (and
@@ -460,6 +624,12 @@ func (j *job) formRun(ctx context.Context, br *core.BatchRunner, input *pdm.Stor
 		if ctx.Err() != nil {
 			return nil, fmt.Errorf("colsort: %w", ferr)
 		}
+		if errors.Is(ferr, pdm.ErrNoSpace) {
+			// A full filesystem cannot be redone onto: every retry re-spills
+			// into the same exhausted space. Fail fast without burning the
+			// redo budget so the job's error names the real cause.
+			return nil, fmt.Errorf("colsort: %w", ferr)
+		}
 		if attempt >= redoBudget {
 			if redoBudget > 0 {
 				return nil, fmt.Errorf("colsort: redo budget (%d) exhausted: %w", redoBudget, ferr)
@@ -493,7 +663,7 @@ func (j *job) formRun(ctx context.Context, br *core.BatchRunner, input *pdm.Stor
 // run-store's worth — the same peak the fixed-batch path reaches with its
 // input and output stores — at the cost of splitting longer-than-expected
 // runs while scrubbing.
-func (j *job) formRunsReplacement(ctx context.Context, rd RecordReader, o sortOptions, codec record.KeyCodec, n int64, runPl core.Plan, live *[]*merge.Run, newSpill func() (pdm.Disk, error), chunk int, scrub bool, redoBudget int, stats *MergeStats, want *record.Checksum) error {
+func (j *job) formRunsReplacement(ctx context.Context, rd RecordReader, o sortOptions, codec record.KeyCodec, n int64, runPl core.Plan, live *[]*merge.Run, ids *[]int, newSpill func() (pdm.Disk, error), chunk int, scrub bool, redoBudget int, stats *MergeStats, want *record.Checksum) error {
 	z := j.e.cfg.RecordSize
 	var pool *record.Pool
 	if len(j.m.Pools) > 0 {
@@ -548,6 +718,20 @@ func (j *job) formRunsReplacement(ctx context.Context, rd RecordReader, o sortOp
 			return err
 		}
 		*live = append(*live, run)
+		// Durability point: the run (already scrubbed when armed) is fsync'd
+		// before the manifest claims it. RS runs record no consumed-prefix
+		// position — a formation-phase crash restarts formation (DESIGN.md
+		// §13); a merge-phase crash resumes from these runs with no re-sort.
+		if j.ckpt != nil {
+			if err := pdm.SyncDisk(run.Disk); err != nil {
+				return err
+			}
+			id, err := j.ckpt.logRun(run, 0, record.Checksum{})
+			if err != nil {
+				return err
+			}
+			*ids = append(*ids, id)
+		}
 		stats.BytesWritten += run.Bytes()
 		if desc {
 			stats.DownRuns++
@@ -643,6 +827,11 @@ func (j *job) spillFormedRun(ctx context.Context, f *runform.Former, desc bool, 
 		if err := ctx.Err(); err != nil {
 			return nil, 0, fmt.Errorf("colsort: run %d: %w", runIdx, spillErr)
 		}
+		if errors.Is(spillErr, pdm.ErrNoSpace) {
+			// Out of space is not redoable: a fresh spill disk lives on the
+			// same full filesystem. Surface it without spending the budget.
+			return nil, 0, fmt.Errorf("colsort: run %d: %w", runIdx, spillErr)
+		}
 		if attempt > redoBudget {
 			return nil, 0, fmt.Errorf("colsort: redo budget (%d) exhausted: run %d: %w", redoBudget, runIdx, spillErr)
 		}
@@ -680,6 +869,46 @@ func respillRetained(ctx context.Context, retained []record.Slice, z int, desc b
 		}
 	}
 	return run, nil
+}
+
+// closeConsumedRun closes a merge input run and, under checkpointing (whose
+// spill files survive Close), removes its durable file — legal only after
+// the WAL entry of the merge that consumed it is durable.
+func (j *job) closeConsumedRun(r *merge.Run) {
+	var path string
+	if j.ckpt != nil {
+		path = pdm.DiskPath(r.Disk)
+	}
+	r.Close()
+	if path != "" {
+		_ = os.Remove(path)
+	}
+}
+
+// skipConsumed advances rd past the source records a resumed job's durable
+// runs already cover, verifying their multiset against the checksum the
+// manifest recorded — a resume must refuse a source that differs from the
+// one the crashed job ingested, or the merged output would silently mix two
+// inputs.
+func skipConsumed(ctx context.Context, rd RecordReader, codec record.KeyCodec, z int, consumed int64, want record.Checksum) error {
+	var cs record.Checksum
+	rec := make([]byte, z)
+	for i := int64(0); i < consumed; i++ {
+		if i%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if err := rd.ReadRecord(rec); err != nil {
+			return fmt.Errorf("colsort: resume: re-reading consumed record %d of %d: %w", i, consumed, err)
+		}
+		codec.EncodeRecord(rec)
+		cs.Add(rec)
+	}
+	if !cs.Equal(want) {
+		return fmt.Errorf("colsort: resume: the source's first %d records do not match the multiset the manifest recorded; resuming requires the original input", consumed)
+	}
+	return nil
 }
 
 // verifyRunStore applies the engine's output verification to one run store

@@ -59,6 +59,27 @@ type Run struct {
 // framed reports whether the run carries a CRC sidecar index.
 func (r *Run) framed() bool { return r.FrameBytes > 0 && r.crcs != nil }
 
+// CRCs returns the run's CRC32C sidecar index (nil for an unframed run).
+// The caller must not mutate it; it is exposed so a durability layer can
+// persist the sidecar alongside the run and hand it back to Reopen.
+func (r *Run) CRCs() []uint32 { return r.crcs }
+
+// Reopen reconstructs a Run around an already-written disk from persisted
+// metadata — the resume path's counterpart to Writer.Finish. The crcs slice
+// is the sidecar a manifest recorded when the run was spilled; the reopened
+// run verifies every frame against it on read, so a run damaged between the
+// crash and the resume is detected exactly like in-flight corruption.
+func Reopen(d pdm.Disk, recSize int, records int64, descending bool, frameBytes int, crcs []uint32) *Run {
+	return &Run{
+		Disk:       d,
+		RecSize:    recSize,
+		Records:    records,
+		Descending: descending,
+		FrameBytes: frameBytes,
+		crcs:       crcs,
+	}
+}
+
 // readFrameVerified reads the frame-aligned extent [off, off+len(buf)) and
 // verifies its CRC32C. On mismatch the read is re-issued once directly —
 // the corrupt bytes may have come from a damaged prefetch staging or a

@@ -17,9 +17,22 @@ import (
 	"os"
 	"path/filepath"
 	"sync/atomic"
+	"syscall"
 
 	"colsort/internal/record"
 )
+
+// ErrNoSpace reports a write that failed because the filesystem is out of
+// space (ENOSPC) or over quota (EDQUOT). It is classified permanent at the
+// source: retrying a full disk burns the whole backoff budget to arrive at
+// the same failure, and a batch redo re-spills into the same full
+// filesystem. Jobs should fail fast with this sentinel instead.
+var ErrNoSpace = errors.New("pdm: no space left on device")
+
+// isNoSpace matches the out-of-space errno family through any wrapping.
+func isNoSpace(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) || errors.Is(err, syscall.EDQUOT)
+}
 
 // Disk is one simulated disk: a flat byte address space with sparse
 // semantics (reads beyond the written extent return zeros, as with POSIX
@@ -124,7 +137,8 @@ func (d *MemDisk) Close() error {
 
 // FileDisk is a disk backed by one file, for genuinely out-of-core runs.
 type FileDisk struct {
-	f *os.File
+	f    *os.File
+	keep bool // Close leaves the file on disk (checkpointed spill runs)
 }
 
 // NewFileDisk creates (or truncates) the file at path.
@@ -134,6 +148,30 @@ func NewFileDisk(path string) (*FileDisk, error) {
 		return nil, fmt.Errorf("pdm: %w", err)
 	}
 	return &FileDisk{f: f}, nil
+}
+
+// NewKeepFileDisk creates (or truncates) the file at path, like NewFileDisk,
+// but Close leaves the file behind: the durability unit of a checkpointed
+// sort, whose spilled runs must survive the process so a resume can reopen
+// them.
+func NewKeepFileDisk(path string) (*FileDisk, error) {
+	d, err := NewFileDisk(path)
+	if err != nil {
+		return nil, err
+	}
+	d.keep = true
+	return d, nil
+}
+
+// OpenFileDisk opens an EXISTING file at path read-write without
+// truncating, keep-on-close — the resume path's reopen of a spilled run
+// that a previous process wrote and fsync'd.
+func OpenFileDisk(path string) (*FileDisk, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pdm: %w", err)
+	}
+	return &FileDisk{f: f, keep: true}, nil
 }
 
 // ReadAt reads from the file, zero-filling beyond EOF.
@@ -155,9 +193,14 @@ func (d *FileDisk) ReadAt(p []byte, off int64) error {
 // misclassify wrapped EOFs, turning a benign short read into a hard error).
 func isEOF(err error) bool { return errors.Is(err, io.EOF) }
 
-// WriteAt writes to the file at the given offset (sparse growth).
+// WriteAt writes to the file at the given offset (sparse growth). An
+// out-of-space failure is classified permanent and carries ErrNoSpace, so
+// the retry layer fails fast instead of backing off against a full disk.
 func (d *FileDisk) WriteAt(p []byte, off int64) error {
 	if _, err := d.f.WriteAt(p, off); err != nil {
+		if isNoSpace(err) {
+			return MarkPermanent(fmt.Errorf("pdm: write %s: %w (%v)", d.f.Name(), ErrNoSpace, err))
+		}
 		return fmt.Errorf("pdm: write %s: %w", d.f.Name(), err)
 	}
 	return nil
@@ -172,12 +215,29 @@ func (d *FileDisk) Size() int64 {
 	return info.Size()
 }
 
+// Path returns the backing file's path.
+func (d *FileDisk) Path() string { return d.f.Name() }
+
+// Sync flushes the file's dirty pages to stable storage — the fsync point
+// a manifest entry depends on before it may claim the run durable.
+func (d *FileDisk) Sync() error {
+	if err := d.f.Sync(); err != nil {
+		return fmt.Errorf("pdm: sync %s: %w", d.f.Name(), err)
+	}
+	return nil
+}
+
 // Close closes and removes the backing file; simulated disks own scratch
-// space, so nothing should outlive the run.
+// space, so nothing should outlive the run. Keep-on-close disks (see
+// NewKeepFileDisk) only close: their files are checkpoint state that a
+// resume must find.
 func (d *FileDisk) Close() error {
 	name := d.f.Name()
 	if err := d.f.Close(); err != nil {
 		return err
+	}
+	if d.keep {
+		return nil
 	}
 	return os.Remove(name)
 }
@@ -243,6 +303,10 @@ func (MemBackend) Name() string { return "mem" }
 type FileBackend struct {
 	Dir    string
 	Prefix string
+	// Keep makes every created disk keep-on-close (see NewKeepFileDisk):
+	// the backend of a checkpointed job, whose spilled runs are durable
+	// state rather than scratch.
+	Keep bool
 }
 
 var fileDiskSeq atomic.Int64
@@ -251,8 +315,20 @@ func (b FileBackend) NewDisk(idx int) (Disk, error) {
 	if err := os.MkdirAll(b.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	gen := fileDiskSeq.Add(1)
-	return NewFileDisk(filepath.Join(b.Dir, fmt.Sprintf("%sdisk%03d-g%05d.dat", b.Prefix, idx, gen)))
+	for {
+		gen := fileDiskSeq.Add(1)
+		path := filepath.Join(b.Dir, fmt.Sprintf("%sdisk%03d-g%05d.dat", b.Prefix, idx, gen))
+		if b.Keep {
+			// A keep backend's directory outlives the process: a resumed job
+			// forms new runs beside runs a DEAD process left, and the fresh
+			// generation counter must not truncate one of those survivors.
+			if _, err := os.Lstat(path); err == nil {
+				continue
+			}
+			return NewKeepFileDisk(path)
+		}
+		return NewFileDisk(path)
+	}
 }
 func (b FileBackend) Name() string { return "file" }
 
@@ -271,6 +347,59 @@ type Namespacer interface {
 	// created disks are identifiable by (and cannot collide outside of)
 	// the given namespace prefix.
 	Namespaced(prefix string) Backend
+}
+
+// DiskFile walks a wrapped disk stack — async, retry, chaos, delay and
+// fault layers in any order — down to its backing *FileDisk. It returns nil
+// when the stack bottoms out on anything else (a MemDisk): the caller's
+// durability machinery has nothing to persist there.
+func DiskFile(d Disk) *FileDisk {
+	for d != nil {
+		switch v := d.(type) {
+		case *FileDisk:
+			return v
+		case *AsyncDisk:
+			d = v.inner
+		case *RetryDisk:
+			d = v.inner
+		case *ChaosDisk:
+			d = v.inner
+		case *DelayDisk:
+			d = v.Inner
+		case *FaultDisk:
+			d = v.Inner
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// DiskPath returns the backing file path of a (possibly wrapped) file
+// disk, or "" when the disk is not file-backed.
+func DiskPath(d Disk) string {
+	if fd := DiskFile(d); fd != nil {
+		return fd.Path()
+	}
+	return ""
+}
+
+// SyncDisk makes everything written to d durable: any write-behind layer is
+// flushed first (draining deferred writes and surfacing their first error),
+// then the backing file is fsync'd. Memory-backed stacks flush but skip the
+// fsync — there is no stable storage to reach. This is the fsync point a
+// run manifest entry depends on: only after SyncDisk returns may an entry
+// claim the run's bytes durable.
+func SyncDisk(d Disk) error {
+	if f, ok := d.(Flusher); ok {
+		if err := f.Flush(); err != nil {
+			return err
+		}
+	}
+	if fd := DiskFile(d); fd != nil {
+		return fd.Sync()
+	}
+	return nil
 }
 
 // JobScratchPrefix is the canonical scratch-file namespace of engine job

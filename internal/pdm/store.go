@@ -252,6 +252,13 @@ type Machine struct {
 	StripeBytes int
 	Backend     Backend
 
+	// SpillBackend, when non-nil, builds the standalone spill disks of
+	// hierarchical runs instead of Backend. A checkpointed job points it at
+	// a keep-on-close FileBackend in its manifest directory, so spilled
+	// runs become durable state a resume can reopen while the array disks
+	// (input stores, pipeline scratch) stay ordinary scratch.
+	SpillBackend Backend
+
 	// Pools, when non-nil, holds one buffer pool per processor — the
 	// machine's node-local memory. Runs sharing a Machine then also share
 	// warm buffer pools, so repeated sorts on one Sorter allocate only on
@@ -348,7 +355,10 @@ func (m Machine) NewArrays() ([]*DiskArray, error) {
 // suffix keeps concurrent spills distinct. The caller owns Close (which
 // removes a file-backed spill).
 func (m Machine) NewSpillDisk(idx int) (Disk, error) {
-	backend := m.Backend
+	backend := m.SpillBackend
+	if backend == nil {
+		backend = m.Backend
+	}
 	if backend == nil {
 		backend = MemBackend{Pools: m.Pools}
 	}
@@ -356,6 +366,14 @@ func (m Machine) NewSpillDisk(idx int) (Disk, error) {
 	if err != nil {
 		return nil, err
 	}
+	return m.WrapSpillDisk(d, idx), nil
+}
+
+// WrapSpillDisk stacks the machine's fault and async layers over an
+// already-open disk exactly as NewSpillDisk wraps a fresh one — the resume
+// path's way to give a reopened checkpoint run the same retry policy,
+// prefetch and write-behind a freshly spilled run gets.
+func (m Machine) WrapSpillDisk(d Disk, idx int) Disk {
 	d = m.wrapFaultLayers(d, idx, true)
 	if m.Async != nil {
 		cfg := *m.Async
@@ -364,7 +382,7 @@ func (m Machine) NewSpillDisk(idx int) (Disk, error) {
 		}
 		d = NewAsyncDisk(d, cfg)
 	}
-	return d, nil
+	return d
 }
 
 // wrapFaultLayers stacks the service-time model, the chaos injector, and

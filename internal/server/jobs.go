@@ -170,7 +170,22 @@ func (r *jobRegistry) add(info jobInfo, cancel context.CancelFunc) *jobEntry {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.seq++
-	info.ID = fmt.Sprintf("j%06d", r.seq)
+	return r.addLocked(fmt.Sprintf("j%06d", r.seq), info, cancel)
+}
+
+// addWithID registers an entry under a caller-chosen id — boot re-adoption
+// restarting a WAL-recorded job under its original identity. The registry's
+// sequence must already be seeded past the id (seedSeq), so fresh
+// submissions never collide with re-adopted jobs.
+func (r *jobRegistry) addWithID(id string, info jobInfo, cancel context.CancelFunc) *jobEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.addLocked(id, info, cancel)
+}
+
+// addLocked registers an entry in state queued. Caller holds r.mu.
+func (r *jobRegistry) addLocked(id string, info jobInfo, cancel context.CancelFunc) *jobEntry {
+	info.ID = id
 	info.State = jobQueued
 	info.Submitted = time.Now()
 	e := &jobEntry{
@@ -183,6 +198,16 @@ func (r *jobRegistry) add(info jobInfo, cancel context.CancelFunc) *jobEntry {
 	r.order = append(r.order, info.ID)
 	r.evictLocked()
 	return e
+}
+
+// seedSeq advances the id sequence to at least n, so ids minted after a
+// restart never collide with ids persisted in the jobs WAL.
+func (r *jobRegistry) seedSeq(n int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n > r.seq {
+		r.seq = n
+	}
 }
 
 // evictLocked drops the oldest FINISHED jobs beyond the retain bound, so a

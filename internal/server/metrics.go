@@ -99,9 +99,12 @@ func (m *metrics) instrument(route string, h http.HandlerFunc) http.HandlerFunc 
 }
 
 // writeMetrics renders the whole surface: engine gauges, cumulative sim
-// and fault counters, the server's drain state, and per-endpoint HTTP
-// accounting. Metric names are the catalogue DESIGN.md §11 documents.
-func writeMetrics(w io.Writer, st colsort.EngineStats, draining bool, m *metrics) {
+// and fault counters, the server's drain state and durability counters, and
+// per-endpoint HTTP accounting. Metric names are the catalogue DESIGN.md
+// §11 documents. readopted and orphansCleaned are the boot-recovery
+// counters: WAL jobs restarted at startup and orphan job-scoped scratch
+// files swept.
+func writeMetrics(w io.Writer, st colsort.EngineStats, draining bool, m *metrics, readopted, orphansCleaned int64) {
 	b := func(v bool) float64 {
 		if v {
 			return 1
@@ -156,6 +159,12 @@ func writeMetrics(w io.Writer, st colsort.EngineStats, draining bool, m *metrics
 	} {
 		counter(mc.name, mc.help, float64(mc.v))
 	}
+
+	// Durability: checkpoint/resume work saved and recovered (DESIGN.md §13).
+	counter("colsort_engine_jobs_resumed_total", "Jobs that adopted durable runs from a checkpoint manifest instead of re-sorting them.", float64(st.JobsResumed))
+	counter("colsort_engine_runs_resumed_total", "Durable spilled runs adopted by resumed jobs without re-sorting.", float64(st.RunsResumed))
+	counter("colsort_server_jobs_readopted_total", "Interrupted file jobs re-adopted from the jobs WAL at startup.", float64(readopted))
+	counter("colsort_orphan_scratch_cleaned_total", "Orphaned job-scoped scratch files removed by the startup sweep.", float64(orphansCleaned))
 
 	f := st.Faults
 	for _, mc := range []struct {

@@ -23,6 +23,7 @@ import (
 var sortParams = map[string]struct{}{
 	"alg":               {},
 	"group":             {},
+	"deadline-ms":       {},
 	"key-offset":        {},
 	"key-width":         {},
 	"order":             {},
@@ -256,6 +257,16 @@ func parseSortOptions(q url.Values, extra ...string) ([]colsort.Option, error) {
 		if v {
 			opts = append(opts, colsort.WithNoWait())
 		}
+	}
+	if has("deadline-ms") {
+		v, err := intOf("deadline-ms")
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("option %q: must be ≥ 1", "deadline-ms")
+		}
+		opts = append(opts, colsort.WithDeadline(time.Duration(v)*time.Millisecond))
 	}
 
 	// Retry policy: any retry key present builds one WithRetry.

@@ -50,6 +50,12 @@ type Config struct {
 	// RetainJobs bounds the finished jobs kept for GET /v1/jobs/{id}
 	// after completion (default 256). Live jobs are never evicted.
 	RetainJobs int
+	// WriteTimeout bounds each WRITE on streaming responses — sorted output
+	// chunks and SSE events. The deadline is re-armed before every write,
+	// so arbitrarily long transfers survive while a stalled client is cut
+	// loose (an absolute http.Server.WriteTimeout would kill any sort
+	// slower than the timeout). 0 disables the per-write deadline.
+	WriteTimeout time.Duration
 }
 
 // Server serves one Engine over HTTP. Create with New, mount Handler, and
@@ -63,10 +69,22 @@ type Server struct {
 	mux      *http.ServeMux
 	draining atomic.Bool
 	slots    chan struct{} // MaxJobs semaphore; nil when unbounded
+
+	// Durable-job state (see wal.go): the jobs WAL, and the boot-time
+	// recovery counters /metrics exposes.
+	wal            *jobWAL
+	resumedJobs    atomic.Int64 // file jobs re-adopted from the WAL at startup
+	orphansCleaned atomic.Int64 // orphan job-scoped scratch files removed at startup
 }
 
-// New builds a Server over an engine the caller owns (Drain closes it).
-func New(eng *colsort.Engine, cfg Config) *Server {
+// New builds a Server over an engine the caller owns (Drain closes it),
+// recovering durable job state first: the engine's scratch directory is
+// swept of orphaned job files, and — when DataDir is set — the jobs WAL is
+// replayed, interrupted file jobs are re-adopted (resumed from their
+// checkpoint manifests where those survived), and the WAL is compacted. A
+// recovery error means the durable state could not be read or rewritten;
+// the engine itself is untouched by it.
+func New(eng *colsort.Engine, cfg Config) (*Server, error) {
 	s := &Server{
 		eng:     eng,
 		cfg:     cfg,
@@ -89,7 +107,10 @@ func New(eng *colsort.Engine, cfg Config) *Server {
 	handle("DELETE", "/v1/jobs/{id}", s.handleJobDelete)
 	handle("GET", "/metrics", s.handleMetrics)
 	handle("GET", "/healthz", s.handleHealthz)
-	return s
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // Handler returns the server's HTTP handler.
@@ -115,7 +136,9 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.jobs.cancelAll()
 		<-done
 	}
-	return s.eng.Close()
+	err := s.eng.Close()
+	s.wal.close()
+	return err
 }
 
 // acquireSlot takes one MaxJobs slot without blocking; ok=false means the
@@ -165,11 +188,17 @@ type streamSink struct {
 	rc      *http.ResponseController
 	total   int64
 	jobID   string
+	timeout time.Duration // per-write deadline; re-armed before every chunk
 	started bool
 	written int64
 }
 
 func (sw *streamSink) Write(p []byte) (int, error) {
+	if sw.timeout > 0 {
+		// Re-arm rather than set once: a long sort must survive, a stalled
+		// client must not hold the handler hostage.
+		sw.rc.SetWriteDeadline(time.Now().Add(sw.timeout)) //nolint:errcheck // unsupported writer: no deadline
+	}
 	if !sw.started {
 		h := sw.w.Header()
 		h.Set("Content-Type", "application/octet-stream")
@@ -246,7 +275,8 @@ func (s *Server) handleSortStream(w http.ResponseWriter, r *http.Request) {
 	entry := s.jobs.add(jobInfo{Streaming: true}, cancel)
 	opts = append(opts, colsort.WithProgress(entry.onProgress))
 
-	sink := &streamSink{w: w, rc: http.NewResponseController(w), total: n * z, jobID: entry.info.ID}
+	sink := &streamSink{w: w, rc: http.NewResponseController(w), total: n * z,
+		jobID: entry.info.ID, timeout: s.cfg.WriteTimeout}
 	res, err := s.eng.Sort(ctx, colsort.FromReader(r.Body, n), colsort.ToWriter(sink), opts...)
 	if err != nil {
 		entry.finish(nil, err)
@@ -353,26 +383,62 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	entry := s.jobs.add(jobInfo{Input: req.Input, Output: req.Output}, cancel)
+	// Durability point: the submission is recorded — with everything needed
+	// to restart it — before the job runs. A crash from here on re-adopts
+	// the job at the next boot.
+	s.wal.append(walRecord{ID: entry.info.ID, State: jobQueued, //nolint:errcheck // degrade, don't refuse
+		Input: req.Input, Output: req.Output, Options: req.Options})
+	s.launchFileJob(ctx, cancel, entry, in, out, opts, release, false)
+	info, _ := entry.snapshot()
+	writeJSON(w, http.StatusAccepted, info)
+}
+
+// launchFileJob runs one file job in the background: fresh submissions sort
+// under a per-job checkpoint; re-adopted jobs with a surviving manifest go
+// through Engine.Resume instead, adopting the durable runs the dead process
+// verified. State transitions are written through the jobs WAL — except
+// when a drain cancels the job, which deliberately leaves the WAL at
+// "running" so the next boot picks the job back up from its checkpoint.
+func (s *Server) launchFileJob(ctx context.Context, cancel context.CancelFunc, entry *jobEntry, in, out string, opts []colsort.Option, release func(), resume bool) {
+	id := entry.info.ID
+	ckpt := s.ckptDir(id)
 	opts = append(opts, colsort.WithProgress(entry.onProgress))
+	if s.cfg.DataDir != "" {
+		opts = append(opts, colsort.WithCheckpoint(ckpt))
+	}
 	s.jobs.wg.Add(1)
 	go func() {
 		defer s.jobs.wg.Done()
 		defer release()
 		defer cancel()
-		res, err := s.eng.Sort(ctx, colsort.FromFile(in), colsort.ToFile(out), opts...)
+		s.wal.append(walRecord{ID: id, State: jobRunning}) //nolint:errcheck // degrade, don't refuse
+		var res *colsort.Result
+		var err error
+		if resume {
+			res, err = s.eng.Resume(ctx, ckpt, colsort.FromFile(in), colsort.ToFile(out), opts...)
+		} else {
+			res, err = s.eng.Sort(ctx, colsort.FromFile(in), colsort.ToFile(out), opts...)
+		}
 		if err != nil {
 			// A failed sort must not leave a plausible-looking output
 			// file behind (the Sink contract: on error, discard).
 			os.Remove(out) //nolint:errcheck // best effort; may not exist
 			entry.finish(nil, err)
+			if errors.Is(err, context.Canceled) && s.draining.Load() {
+				// Shutdown interrupted the job, not the job itself: keep the
+				// WAL at "running" and the checkpoint on disk, so the next
+				// boot resumes instead of rerunning.
+				return
+			}
+			s.wal.append(walRecord{ID: id, State: jobFailed, Error: err.Error()}) //nolint:errcheck // degrade
+			os.RemoveAll(ckpt)                                                   //nolint:errcheck // the failure is durable; the checkpoint is garbage
 			return
 		}
 		sum := res.Summary()
 		res.Close()
 		entry.finish(&sum, nil)
+		s.wal.append(walRecord{ID: id, State: jobDone}) //nolint:errcheck // degrade, don't refuse
 	}()
-	info, _ := entry.snapshot()
-	writeJSON(w, http.StatusAccepted, info)
 }
 
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
@@ -429,6 +495,12 @@ func (s *Server) handleJobProgress(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return err
 		}
+		if s.cfg.WriteTimeout > 0 {
+			// Per-write deadline, re-armed per event: an SSE stream lives as
+			// long as the job, but a stalled subscriber must not pin the
+			// handler (and its registry wakeups) forever.
+			rc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)) //nolint:errcheck // unsupported writer: no deadline
+		}
 		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
 			return err
 		}
@@ -454,6 +526,9 @@ func (s *Server) handleJobProgress(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-wake:
 		case <-heartbeat.C:
+			if s.cfg.WriteTimeout > 0 {
+				rc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)) //nolint:errcheck // unsupported writer: no deadline
+			}
 			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
 				return
 			}
@@ -468,7 +543,7 @@ func (s *Server) handleJobProgress(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	writeMetrics(w, s.eng.Stats(), s.draining.Load(), s.met)
+	writeMetrics(w, s.eng.Stats(), s.draining.Load(), s.met, s.resumedJobs.Load(), s.orphansCleaned.Load())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

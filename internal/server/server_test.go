@@ -48,7 +48,10 @@ func newEnv(t *testing.T, ecfg colsort.EngineConfig, scfg Config) *testEnv {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(eng, scfg)
+	srv, err := New(eng, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close() // waits for in-flight handlers, closes idle client conns

@@ -1,0 +1,308 @@
+package server
+
+// Server-side job durability. File jobs (POST /v1/jobs) write their state
+// transitions through a JSON-lines WAL at DataDir/.colsort/jobs.wal —
+// queued (with the submitted paths and wire options), running, done/failed
+// — each line fsync'd before the transition is acted on. On startup the
+// server replays the WAL: jobs that were queued or running when the
+// process died are RE-ADOPTED — restarted under their original ids, via
+// Engine.Resume when the job's checkpoint manifest survived (so completed
+// run formation and merge work is not redone) and a fresh checkpointed
+// Sort otherwise — and the WAL is compacted down to the re-adopted
+// entries. Terminal entries are dropped: the registry's retained tail is
+// an in-memory convenience, not durable state.
+//
+// Streaming jobs (POST /v1/sort) are deliberately absent: their output is
+// the response body of a connection that died with the process — there is
+// nothing to resume for a client that is gone.
+//
+// Startup also sweeps the engine's scratch directory for orphaned
+// job-scoped files (the jobNNNNN- namespace pdm.JobScratchPrefix assigns):
+// a SIGKILL leaves the dead process's spill and store files behind, and no
+// future job will ever reference them. The sweep runs before any job is
+// admitted, so every job-prefixed file it sees is garbage by construction.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// serverStateDir is the DataDir subdirectory holding the server's durable
+// state: the jobs WAL and the per-job checkpoint directories.
+const serverStateDir = ".colsort"
+
+// jobsWALName is the job-state WAL's file name inside serverStateDir.
+const jobsWALName = "jobs.wal"
+
+// walRecord is one jobs.wal line: a state transition of one file job. The
+// queued record carries everything needed to restart the job; later
+// records for the same id carry only the transition.
+type walRecord struct {
+	ID      string            `json:"id"`
+	State   string            `json:"state"`
+	Input   string            `json:"input,omitempty"`
+	Output  string            `json:"output,omitempty"`
+	Options map[string]string `json:"options,omitempty"`
+	Error   string            `json:"error,omitempty"`
+}
+
+// jobWAL is the append side of jobs.wal. A nil *jobWAL is a valid no-op
+// (the server runs without -data, or WAL setup failed and was reported).
+type jobWAL struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openJobsWAL opens (creating parents as needed) the WAL for appending.
+func openJobsWAL(dataDir string) (*jobWAL, error) {
+	dir := filepath.Join(dataDir, serverStateDir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs wal: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, jobsWALName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs wal: %w", err)
+	}
+	return &jobWAL{f: f}, nil
+}
+
+// append writes one record as a JSON line and fsyncs it.
+func (w *jobWAL) append(rec walRecord) error {
+	if w == nil {
+		return nil
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(data); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *jobWAL) close() {
+	if w == nil {
+		return
+	}
+	w.f.Close() //nolint:errcheck // read side replays from disk, not this handle
+}
+
+// replayJobsWAL folds the WAL into the last observed state of every job,
+// in first-seen order. A torn final line (the crash hit mid-append) is
+// ignored; the transition it recorded never took effect.
+func replayJobsWAL(path string) ([]walRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	byID := make(map[string]*walRecord)
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), 8<<20)
+	var lines []string
+	for sc.Scan() {
+		if s := strings.TrimSpace(sc.Text()); s != "" {
+			lines = append(lines, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for i, line := range lines {
+		var rec walRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			if i == len(lines)-1 {
+				break // torn tail
+			}
+			return nil, fmt.Errorf("jobs wal line %d: %w", i+1, err)
+		}
+		prev, ok := byID[rec.ID]
+		if !ok {
+			r := rec
+			byID[rec.ID] = &r
+			order = append(order, rec.ID)
+			continue
+		}
+		// Later transitions update state but keep the queued record's
+		// restart parameters.
+		prev.State = rec.State
+		if rec.Error != "" {
+			prev.Error = rec.Error
+		}
+	}
+	out := make([]walRecord, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	return out, nil
+}
+
+// compactJobsWAL atomically rewrites the WAL to hold only keep's records.
+func compactJobsWAL(dataDir string, keep []walRecord) error {
+	dir := filepath.Join(dataDir, serverStateDir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, jobsWALName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	for _, rec := range keep {
+		data, err := json.Marshal(rec)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := f.Write(append(data, '\n')); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, jobsWALName))
+}
+
+// jobIDNum extracts the numeric part of a j%06d job id; 0 if malformed.
+func jobIDNum(id string) int64 {
+	if !strings.HasPrefix(id, "j") {
+		return 0
+	}
+	n, err := strconv.ParseInt(id[1:], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// ckptDir returns the checkpoint directory of one file job.
+func (s *Server) ckptDir(id string) string {
+	return filepath.Join(s.cfg.DataDir, serverStateDir, "ckpt", id)
+}
+
+// orphanScratchPat matches the per-job scratch namespace prefix
+// (pdm.JobScratchPrefix's job%05d- rendering) at the start of a file name.
+var orphanScratchPat = regexp.MustCompile(`^job\d+-`)
+
+// sweepOrphanScratch removes job-namespaced files from the engine's scratch
+// directory. It must run before any job is admitted: at that point every
+// job-prefixed file belongs to a dead process.
+func sweepOrphanScratch(scratchDir string) int {
+	if scratchDir == "" {
+		return 0
+	}
+	ents, err := os.ReadDir(scratchDir)
+	if err != nil {
+		return 0
+	}
+	removed := 0
+	for _, de := range ents {
+		if de.IsDir() || !orphanScratchPat.MatchString(de.Name()) {
+			continue
+		}
+		if os.Remove(filepath.Join(scratchDir, de.Name())) == nil {
+			removed++
+		}
+	}
+	return removed
+}
+
+// recover replays the jobs WAL, sweeps orphan scratch, and re-adopts every
+// job the crash interrupted. Called from New before the server accepts
+// requests; errors are reported to the caller (the server still serves —
+// durability degrades, availability does not).
+func (s *Server) recover() error {
+	cleaned := sweepOrphanScratch(s.eng.Config().Dir)
+	s.orphansCleaned.Add(int64(cleaned))
+	if s.cfg.DataDir == "" {
+		return nil
+	}
+	records, err := replayJobsWAL(filepath.Join(s.cfg.DataDir, serverStateDir, jobsWALName))
+	if err != nil {
+		return err
+	}
+	var pending []walRecord
+	var maxSeq int64
+	for _, rec := range records {
+		if n := jobIDNum(rec.ID); n > maxSeq {
+			maxSeq = n
+		}
+		if rec.State == jobQueued || rec.State == jobRunning {
+			pending = append(pending, rec)
+		}
+	}
+	s.jobs.seedSeq(maxSeq)
+	if err := compactJobsWAL(s.cfg.DataDir, pending); err != nil {
+		return err
+	}
+	wal, err := openJobsWAL(s.cfg.DataDir)
+	if err != nil {
+		return err
+	}
+	s.wal = wal
+
+	for _, rec := range pending {
+		if err := s.readoptJob(rec); err != nil {
+			// The job cannot be restarted (bad persisted options, input
+			// gone): record the failure durably so it is not retried on the
+			// next boot, and surface it through the registry.
+			entry := s.jobs.addWithID(rec.ID, jobInfo{Input: rec.Input, Output: rec.Output}, func() {})
+			entry.finish(nil, err)
+			s.wal.append(walRecord{ID: rec.ID, State: jobFailed, Error: err.Error()}) //nolint:errcheck // best effort
+		}
+	}
+	return nil
+}
+
+// readoptJob restarts one interrupted file job under its original id: via
+// Engine.Resume when its checkpoint manifest survived, a fresh checkpointed
+// Sort otherwise.
+func (s *Server) readoptJob(rec walRecord) error {
+	in, err := s.resolveDataPath(rec.Input)
+	if err != nil {
+		return fmt.Errorf("readopt %s: input: %w", rec.ID, err)
+	}
+	out, err := s.resolveDataPath(rec.Output)
+	if err != nil {
+		return fmt.Errorf("readopt %s: output: %w", rec.ID, err)
+	}
+	if _, err := os.Stat(in); err != nil {
+		return fmt.Errorf("readopt %s: input: %w", rec.ID, err)
+	}
+	opts, err := parseSortOptions(valuesFromMap(rec.Options))
+	if err != nil {
+		return fmt.Errorf("readopt %s: %w", rec.ID, err)
+	}
+	ckpt := s.ckptDir(rec.ID)
+	resume := false
+	if _, err := os.Stat(filepath.Join(ckpt, "manifest.wal")); err == nil {
+		resume = true
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	entry := s.jobs.addWithID(rec.ID, jobInfo{Input: rec.Input, Output: rec.Output}, cancel)
+	s.resumedJobs.Add(1)
+	s.launchFileJob(ctx, cancel, entry, in, out, opts, func() {}, resume)
+	return nil
+}

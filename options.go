@@ -107,7 +107,9 @@ type sortOptions struct {
 	formation RunFormation // hierarchical run formation; zero value ReplacementSelect
 	fabric    Fabric
 	retry     *RetryPolicy
-	noWait    bool // fail with ErrBusy instead of queueing for admission
+	noWait    bool          // fail with ErrBusy instead of queueing for admission
+	checkpoint string        // manifest directory of a durable job; "" = no checkpointing
+	deadline   time.Duration // per-job wall-clock budget; 0 = none
 
 	asyncSet  bool
 	async     bool
@@ -274,6 +276,30 @@ func WithDiskModel(seek time.Duration, mbps int) Option {
 // chaos-configured engine. See Config.Chaos and DESIGN.md §9.
 func WithChaos(c *ChaosConfig) Option {
 	return func(o *sortOptions) { o.chaosSet, o.chaos = true, c }
+}
+
+// WithCheckpoint makes a hierarchical sort crash-safe: every verified
+// spilled run is recorded — path, record count, direction, CRC32C sidecar —
+// in a fsync'd JSON-lines manifest under dir, the run files themselves are
+// kept in dir (instead of the engine's scratch directory) and survive the
+// process, and after a crash Engine.Resume(ctx, dir, ...) continues the
+// sort from the manifest without re-sorting any verified run. The directory
+// belongs to ONE job: it is created if missing, must not be shared between
+// concurrent jobs, and is removed when the sort completes. Sorts that fit a
+// single run ignore the option (there is nothing spilled to checkpoint).
+// See DESIGN.md §13 for the durability contract.
+func WithCheckpoint(dir string) Option {
+	return func(o *sortOptions) { o.checkpoint = dir }
+}
+
+// WithDeadline bounds the job's wall-clock time, measured from the Sort
+// call (admission queueing included). A job past its deadline is torn down
+// exactly like a cancelled one — goroutines unwind, write-behind drains,
+// scratch is removed — and Sort returns an error satisfying
+// errors.Is(err, context.DeadlineExceeded). 0 (the default) imposes none;
+// an earlier deadline on the caller's context still applies either way.
+func WithDeadline(d time.Duration) Option {
+	return func(o *sortOptions) { o.deadline = d }
 }
 
 // WithProgress registers a callback receiving pass/round completion events

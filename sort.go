@@ -59,6 +59,13 @@ func (e *Engine) Sort(ctx context.Context, src Source, dst Sink, opts ...Option)
 	if src == nil {
 		return nil, fmt.Errorf("colsort: nil Source")
 	}
+	if o.deadline > 0 {
+		// The deadline clock starts here — admission waiting included — so
+		// a queued job cannot outlive its budget before doing any work.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.deadline)
+		defer cancel()
+	}
 	if o.maxMemory < 0 {
 		return nil, fmt.Errorf("colsort: WithMaxMemory(%d): the cap must be ≥ 0", o.maxMemory)
 	}
@@ -132,7 +139,7 @@ func (e *Engine) Sort(ctx context.Context, src Source, dst Sink, opts ...Option)
 // when hier is set, the single-run engine path otherwise.
 func (j *job) run(ctx context.Context, src Source, rd RecordReader, dst Sink, o sortOptions, codec record.KeyCodec, n int64, pl, runPl core.Plan, hier bool) (*Result, error) {
 	if hier {
-		return j.sortHierarchical(ctx, rd, dst, o, codec, n, runPl)
+		return j.sortHierarchical(ctx, rd, dst, o, codec, n, runPl, nil)
 	}
 
 	// An existing store of exactly the planned shape under the native key
